@@ -1,0 +1,106 @@
+//! Microbenchmarks of the core kernels: dense vs factorized dot products,
+//! stream construction, lane walks, and the full factorized convolution vs
+//! the dense reference.
+//!
+//! Note what these do and do not show: the factorized dot product performs
+//! `U − 1` multiplies instead of `R·S·C`, but on a CPU the indirected loads
+//! typically make it *slower* than the dense loop — the savings UCNN
+//! targets are hardware multiplier/buffer **energy**, not software time
+//! (the paper makes the same point about Winograd vs UCNN in §VII). The
+//! benches document that trade-off and track regressions in the library's
+//! own kernels (stream construction, lane walks, compilation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ucnn_core::compile::{compile_layer, UcnnConfig};
+use ucnn_core::exec::factorized_conv;
+use ucnn_core::factorize::FilterFactorization;
+use ucnn_core::hierarchy::GroupStream;
+use ucnn_model::reference;
+use ucnn_model::{ActivationGen, QuantScheme, WeightGen};
+use ucnn_sim::lane::{run_lane, LaneConfig};
+use ucnn_tensor::ConvGeom;
+
+fn filter_and_acts(len: usize, u: usize) -> (Vec<i16>, Vec<i16>) {
+    let mut wgen = WeightGen::new(QuantScheme::uniform_unique(u), 1).with_density(0.9);
+    let w = wgen.generate_dims(1, len / 9, 3, 3).into_vec();
+    let mut agen = ActivationGen::new(2);
+    let a = agen.generate(len / 9, 3, 3).into_vec();
+    (w, a)
+}
+
+fn bench_dot_products(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_product");
+    for len in [576usize, 2304] {
+        let (w, a) = filter_and_acts(len, 17);
+        let fact = FilterFactorization::build(&w);
+        g.bench_with_input(BenchmarkId::new("dense", len), &len, |b, _| {
+            b.iter(|| black_box(FilterFactorization::dense_dot(&w, &a)))
+        });
+        g.bench_with_input(BenchmarkId::new("factorized", len), &len, |b, _| {
+            b.iter(|| black_box(fact.dot(&a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_build");
+    for gg in [1usize, 2, 4] {
+        let mut wgen = WeightGen::new(QuantScheme::uniform_unique(17), 3).with_density(0.9);
+        let w = wgen.generate_dims(gg, 64, 3, 3);
+        let slices: Vec<&[i16]> = (0..gg).map(|k| w.filter(k)).collect();
+        g.bench_with_input(BenchmarkId::new("g", gg), &gg, |b, _| {
+            b.iter(|| black_box(GroupStream::build(&slices)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lane_walk(c: &mut Criterion) {
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 4).with_density(0.9);
+    let w = wgen.generate_dims(2, 64, 3, 3);
+    let slices: Vec<&[i16]> = vec![w.filter(0), w.filter(1)];
+    let stream = GroupStream::build(&slices);
+    let mut agen = ActivationGen::new(5);
+    let acts = agen.generate(64, 3, 3).into_vec();
+    c.bench_function("lane_walk_g2_576", |b| {
+        b.iter(|| black_box(run_lane(&stream, &acts, &LaneConfig::default())))
+    });
+}
+
+fn bench_layer_compile(c: &mut Criterion) {
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 6).with_density(0.9);
+    let w = wgen.generate_dims(16, 64, 3, 3);
+    c.bench_function("compile_layer_16x3x3x64", |b| {
+        b.iter(|| black_box(compile_layer(&w, &UcnnConfig::with_g(2))))
+    });
+}
+
+fn bench_conv_executors(c: &mut Criterion) {
+    let geom = ConvGeom::new(14, 14, 16, 8, 3, 3).with_pad(1);
+    let mut wgen = WeightGen::new(QuantScheme::ttq(), 7).with_density(0.5);
+    let w = wgen.generate_dims(8, 16, 3, 3);
+    let mut agen = ActivationGen::new(8);
+    let input = agen.generate(16, 14, 14);
+    let cfg = UcnnConfig::with_g(2);
+    let mut g = c.benchmark_group("conv_14x14x16_to_8");
+    g.bench_function("dense_reference", |b| {
+        b.iter(|| black_box(reference::conv2d(&geom, 1, &input, &w)))
+    });
+    g.bench_function("factorized_g2", |b| {
+        b.iter(|| black_box(factorized_conv(&geom, 1, &input, &w, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_dot_products,
+    bench_stream_build,
+    bench_lane_walk,
+    bench_layer_compile,
+    bench_conv_executors,
+);
+criterion_main!(micro);

@@ -1,0 +1,16 @@
+//! Benchmark harness for the UCNN reproduction: one regeneration function
+//! per table and figure of the paper's evaluation (§VI), shared between the
+//! `repro` binary and the Criterion benches.
+//!
+//! Every function returns a [`table::TableOut`] whose rows mirror what the
+//! paper plots; `repro` prints them and optionally writes CSV. `scale`
+//! arguments trade fidelity for speed (Criterion uses small scales; the
+//! final `EXPERIMENTS.md` numbers use the defaults).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::TableOut;

@@ -1,0 +1,434 @@
+//! Bit-exact indirection-table encodings and model-size accounting
+//! (paper §IV-B, §IV-C and Figures 13/14), plus the Eyeriss-style run-length
+//! encoding used by the sparse dense baseline (`DCNN_sp`).
+//!
+//! ## UCNN tables
+//!
+//! Per stream entry the hardware stores:
+//!
+//! * one `iiT` field — either a direct pointer of `ceil(log2 tile_len)` bits
+//!   or a *jump* of configurable width (relative to the previous activation
+//!   in the same innermost group; §IV-C "Additional table compression"), and
+//! * `G` `wiT` fields — 1 bit for filters `1..G-1` (group-transition bit)
+//!   and 2 bits for the innermost filter `G` (a counter able to skip up to 3
+//!   weights, the paper's hybrid for empty sub-activation groups).
+//!
+//! Weight-pointer advances that exceed what the in-entry counters encode
+//! insert dedicated **skip entries** (pipeline bubbles); jumps that exceed
+//! the jump width insert extra **hop entries**. Both are counted here and
+//! consumed by the performance model.
+//!
+//! The outermost filter's weight sequence is a single monotone pass over its
+//! present weights, so it is streamed directly and never needs skips; inner
+//! filters index a shared `U`-entry canonical weight buffer with
+//! reset-on-outer-transition pointers, which is where skips arise.
+
+use crate::hierarchy::{GroupStream, ZERO_RANK};
+
+/// How `iiT` entries address the input buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IitEncoding {
+    /// Direct pointers of `ceil(log2 tile_len)` bits.
+    Pointer,
+    /// Relative jumps of the given width; longer distances take multiple
+    /// hop entries (bubbles).
+    Jump {
+        /// Bits per jump field (≥ 1).
+        bits: u8,
+    },
+}
+
+impl Default for IitEncoding {
+    fn default() -> Self {
+        IitEncoding::Pointer
+    }
+}
+
+/// Exact storage/bubble cost of one [`GroupStream`]'s tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableCost {
+    /// Real data entries (one per stream entry).
+    pub data_entries: usize,
+    /// Weight-pointer skip entries (bubbles) from empty (sub-)groups.
+    pub skip_entries: usize,
+    /// Extra hop entries (bubbles) from jumps longer than the jump width.
+    pub hop_entries: usize,
+    /// `iiT` bits per entry.
+    pub iit_bits_per_entry: u32,
+    /// Total `wiT` bits per entry across all `G` filters.
+    pub wit_bits_per_entry: u32,
+    /// Total table bits: `(data + skip + hop) × (iit + wit)` per-entry bits.
+    pub table_bits: usize,
+}
+
+impl TableCost {
+    /// All entries including bubbles — the cycle count of one table walk.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.data_entries + self.skip_entries + self.hop_entries
+    }
+}
+
+/// Parameters of the table encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EncodingParams {
+    /// `iiT` addressing mode.
+    pub iit: IitEncoding,
+    /// Weights one skip entry can advance the pointer by (paper: up to 3).
+    pub skip_capacity: u16,
+}
+
+impl Default for EncodingParams {
+    fn default() -> Self {
+        Self {
+            iit: IitEncoding::Pointer,
+            skip_capacity: 3,
+        }
+    }
+}
+
+/// Computes the exact table cost for a stream.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::hierarchy::GroupStream;
+/// use ucnn_core::encoding::{table_cost, EncodingParams};
+///
+/// let w = [3i16, 3, 5, 5, 0, 5];
+/// let stream = GroupStream::build(&[&w]);
+/// let cost = table_cost(&stream, &EncodingParams::default());
+/// assert_eq!(cost.data_entries, 5);          // zero position dropped
+/// assert_eq!(cost.iit_bits_per_entry, 3);    // ceil(log2 6)
+/// assert_eq!(cost.wit_bits_per_entry, 1);    // G = 1
+/// assert_eq!(cost.skip_entries, 0);          // G = 1 never skips
+/// ```
+#[must_use]
+pub fn table_cost(stream: &GroupStream, params: &EncodingParams) -> TableCost {
+    let g = stream.g();
+    let iit_bits_per_entry = match params.iit {
+        IitEncoding::Pointer => pointer_bits(stream.tile_len()),
+        IitEncoding::Jump { bits } => u32::from(bits.max(1)),
+    };
+    // 1 bit per filter, +1 extra for the innermost filter when G > 1.
+    let wit_bits_per_entry = g as u32 + u32::from(g > 1);
+
+    let skip_entries = weight_skip_entries(stream, params.skip_capacity);
+    let hop_entries = match params.iit {
+        IitEncoding::Pointer => 0,
+        IitEncoding::Jump { bits } => jump_hop_entries(stream, bits),
+    };
+
+    let data_entries = stream.entry_count();
+    let per_entry = (iit_bits_per_entry + wit_bits_per_entry) as usize;
+    TableCost {
+        data_entries,
+        skip_entries,
+        hop_entries,
+        iit_bits_per_entry,
+        wit_bits_per_entry,
+        table_bits: (data_entries + skip_entries + hop_entries) * per_entry,
+    }
+}
+
+/// Pointer width for a tile: `ceil(log2 tile_len)`, minimum 1 bit.
+#[must_use]
+pub fn pointer_bits(tile_len: usize) -> u32 {
+    if tile_len <= 2 {
+        1
+    } else {
+        usize::BITS - (tile_len - 1).leading_zeros()
+    }
+}
+
+/// Counts skip entries needed for weight-pointer advances that exceed the
+/// in-entry counters.
+///
+/// Filter 0 (outermost) streams its own present weights and never skips.
+/// Filters `1..G-1` encode advance ≤ 1 in-entry; the innermost filter
+/// encodes advance ≤ 3 (its 2-bit field). Each skip entry advances up to
+/// `skip_capacity` further.
+fn weight_skip_entries(stream: &GroupStream, skip_capacity: u16) -> usize {
+    let g = stream.g();
+    if g <= 1 {
+        return 0;
+    }
+    let cap = usize::from(skip_capacity.max(1));
+    let mut skips = 0usize;
+    // prev_rank[level]: last non-zero closed rank within the current scope,
+    // or None right after a reset (outer closure).
+    let mut prev_rank: Vec<Option<u16>> = vec![None; g];
+    for e in stream.entries() {
+        let Some(cl) = e.close_level else { continue };
+        let l = cl as usize;
+        for level in l..g {
+            let rank = e.ranks[level];
+            if level >= 1 && rank != ZERO_RANK {
+                let advance = match prev_rank[level] {
+                    None => usize::from(rank) + 1,
+                    Some(p) => usize::from(rank) - usize::from(p),
+                };
+                let max_encodable = if level == g - 1 { 3 } else { 1 };
+                if advance > max_encodable {
+                    skips += (advance - max_encodable).div_ceil(cap);
+                }
+            }
+            if rank != ZERO_RANK {
+                prev_rank[level] = Some(rank);
+            }
+        }
+        // The closure ends the scopes of all deeper levels: their pointers
+        // reset when the next (sub-)group begins.
+        for level in (l + 1)..g {
+            prev_rank[level] = None;
+        }
+    }
+    skips
+}
+
+/// Counts extra hop entries for the jump encoding: within an innermost
+/// group, the jump is the index delta to the previous entry; the first entry
+/// of a group jumps from the tile start. A delta needs
+/// `ceil(delta / (2^bits − 1))` hops; one is free.
+fn jump_hop_entries(stream: &GroupStream, bits: u8) -> usize {
+    let max_jump = (1usize << bits.clamp(1, 31)) - 1;
+    let mut hops = 0usize;
+    let mut prev_index: Option<u32> = None;
+    for e in stream.entries() {
+        let delta = match prev_index {
+            None => e.index as usize + 1,
+            Some(p) => (e.index as usize).saturating_sub(p as usize).max(1),
+        };
+        hops += delta.div_ceil(max_jump) - 1;
+        // A closure at any level ends the innermost group.
+        prev_index = if e.close_level.is_some() {
+            None
+        } else {
+            Some(e.index)
+        };
+    }
+    hops
+}
+
+/// Bits needed to store one layer's unique weight values (the `F` buffer
+/// contents): `U_nonzero × weight_bits`.
+#[must_use]
+pub fn weight_value_bits(unique_nonzero: usize, weight_bits: u32) -> usize {
+    unique_nonzero * weight_bits as usize
+}
+
+/// Eyeriss-style run-length encoding size in bits for a weight slice, as
+/// used by `DCNN_sp` for DRAM compression (§VI-A: 5-bit run lengths).
+///
+/// Each non-zero weight stores `value_bits + run_bits` (the run is the
+/// number of preceding zeros); zero runs longer than `2^run_bits − 1`
+/// insert explicit zero-valued entries.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::encoding::rle_bits;
+///
+/// // [0, 0, 7, 0, 3]: two entries (run 2, value 7), (run 1, value 3).
+/// assert_eq!(rle_bits(&[0, 0, 7, 0, 3], 8, 5), 2 * 13);
+/// ```
+#[must_use]
+pub fn rle_bits(weights: &[i16], value_bits: u32, run_bits: u32) -> usize {
+    let max_run = (1usize << run_bits) - 1;
+    let entry = (value_bits + run_bits) as usize;
+    let mut bits = 0usize;
+    let mut run = 0usize;
+    for &w in weights {
+        if w == 0 {
+            run += 1;
+            if run == max_run + 1 {
+                bits += entry; // explicit zero entry to restart the run
+                run = 0;
+            }
+        } else {
+            bits += entry;
+            run = 0;
+        }
+    }
+    bits
+}
+
+/// `DCNN_sp`'s practical DRAM footprint: RLE if it wins, otherwise the raw
+/// dense array (a sane implementation never inflates the model).
+#[must_use]
+pub fn rle_bits_capped(weights: &[i16], value_bits: u32, run_bits: u32) -> usize {
+    rle_bits(weights, value_bits, run_bits).min(weights.len() * value_bits as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::GroupStream;
+
+    fn params() -> EncodingParams {
+        EncodingParams::default()
+    }
+
+    #[test]
+    fn pointer_bits_is_ceil_log2() {
+        assert_eq!(pointer_bits(2), 1);
+        assert_eq!(pointer_bits(3), 2);
+        assert_eq!(pointer_bits(4), 2);
+        assert_eq!(pointer_bits(576), 10);
+        assert_eq!(pointer_bits(1152), 11);
+        assert_eq!(pointer_bits(1), 1);
+    }
+
+    #[test]
+    fn g1_table_bits_match_section4b() {
+        // 576-entry tile (3×3×64), full density: 10-bit pointers + 1-bit wiT.
+        let w: Vec<i16> = (0..576).map(|i| (i % 16 + 1) as i16).collect();
+        let stream = GroupStream::build(&[&w]);
+        let cost = table_cost(&stream, &params());
+        assert_eq!(cost.iit_bits_per_entry, 10);
+        assert_eq!(cost.wit_bits_per_entry, 1);
+        assert_eq!(cost.skip_entries, 0);
+        assert_eq!(cost.table_bits, 576 * 11);
+    }
+
+    #[test]
+    fn g2_compression_is_order_g() {
+        // Two filters, full density: effective bits per weight ≈
+        // (ptr + 3) / 2 vs (ptr + 1) for G=1 — an O(G) compression.
+        let w1: Vec<i16> = (0..576).map(|i| (i % 16 + 1) as i16).collect();
+        let w2: Vec<i16> = (0..576).map(|i| (i / 36 + 1) as i16).collect();
+        let g2 = table_cost(&GroupStream::build(&[&w1, &w2]), &params());
+        let g1a = table_cost(&GroupStream::build(&[&w1]), &params());
+        let g1b = table_cost(&GroupStream::build(&[&w2]), &params());
+        let per_weight_g2 = g2.table_bits as f64 / 1152.0;
+        let per_weight_g1 = (g1a.table_bits + g1b.table_bits) as f64 / 1152.0;
+        assert!(per_weight_g2 < 0.62 * per_weight_g1, "{per_weight_g2} vs {per_weight_g1}");
+    }
+
+    #[test]
+    fn skip_entries_appear_for_empty_sub_groups() {
+        // k1 one big group; k2 uses weights with ranks {0, 9} inside it —
+        // advance 9 from rank 0 needs skips (max in-entry advance 3,
+        // capacity 3 per skip → ceil(6/3) = 2 skips).
+        let k1 = vec![1i16; 8];
+        let mut k2 = vec![2i16; 4];
+        k2.extend(vec![11i16; 4]);
+        // canonical = {1, 2, 11} → ranks: k2's weights are ranks 1 and 2 —
+        // too close. Build a custom canonical with spread ranks instead.
+        let canonical: Vec<i16> = (1..=12).collect();
+        let stream = GroupStream::build_with_canonical(&[&k1, &k2], &canonical);
+        let cost = table_cost(&stream, &params());
+        // k2: first sub-group rank 1 (advance 2 ≤ 3 ok), second rank 10
+        // (advance 9 > 3 → ceil(6/3) = 2 skips).
+        assert_eq!(cost.skip_entries, 2);
+    }
+
+    #[test]
+    fn first_group_gap_counts_toward_skips() {
+        // k2's first sub-group uses rank 7: advance 8 > 3 → ceil(5/3) = 2.
+        let k1 = vec![1i16; 4];
+        let k2 = vec![8i16; 4];
+        let canonical: Vec<i16> = (1..=8).collect();
+        let stream = GroupStream::build_with_canonical(&[&k1, &k2], &canonical);
+        let cost = table_cost(&stream, &params());
+        assert_eq!(cost.skip_entries, 2);
+    }
+
+    #[test]
+    fn scope_resets_between_outer_groups() {
+        // Two k1 groups; k2 restarts its weight pointer in each. Within each
+        // k1 group k2 uses consecutive ranks → no skips despite the global
+        // sequence being non-monotone.
+        let k1 = [1i16, 1, 2, 2];
+        let k2 = [1i16, 2, 1, 2];
+        let stream = GroupStream::build(&[&k1, &k2]);
+        let cost = table_cost(&stream, &params());
+        assert_eq!(cost.skip_entries, 0);
+    }
+
+    #[test]
+    fn outermost_filter_never_skips() {
+        // k1 jumps from rank 0 to rank 9 across its groups; as the outermost
+        // filter its weights are streamed, so no skips.
+        let mut k1 = vec![1i16; 4];
+        k1.extend(vec![10i16; 4]);
+        let canonical: Vec<i16> = (1..=10).collect();
+        let stream = GroupStream::build_with_canonical(&[&k1], &canonical);
+        assert_eq!(table_cost(&stream, &params()).skip_entries, 0);
+    }
+
+    #[test]
+    fn jump_encoding_cost_tracks_width() {
+        // Sparse positions force long jumps at narrow widths.
+        let mut w = vec![0i16; 600];
+        for i in (0..600).step_by(40) {
+            w[i] = 3;
+        }
+        let stream = GroupStream::build(&[&w]);
+        let narrow = table_cost(
+            &stream,
+            &EncodingParams {
+                iit: IitEncoding::Jump { bits: 3 },
+                ..params()
+            },
+        );
+        let wide = table_cost(
+            &stream,
+            &EncodingParams {
+                iit: IitEncoding::Jump { bits: 8 },
+                ..params()
+            },
+        );
+        assert!(narrow.hop_entries > 0);
+        assert_eq!(wide.hop_entries, 0); // deltas of 40 fit in 8 bits
+        assert!(narrow.iit_bits_per_entry < pointer_bits(600));
+    }
+
+    #[test]
+    fn jump_encoding_can_beat_pointers_in_bits() {
+        // Dense tile: deltas within groups are ~U on average (§IV-C:
+        // O(log2 U) bits), far below the 10-bit pointer.
+        let w: Vec<i16> = (0..576).map(|i| (i % 16 + 1) as i16).collect();
+        let stream = GroupStream::build(&[&w]);
+        let jump = table_cost(
+            &stream,
+            &EncodingParams {
+                iit: IitEncoding::Jump { bits: 6 },
+                ..params()
+            },
+        );
+        let ptr = table_cost(&stream, &params());
+        assert!(jump.table_bits < ptr.table_bits);
+        // ... at a small bubble cost:
+        assert!(jump.hop_entries < stream.entry_count() / 10);
+    }
+
+    #[test]
+    fn rle_exact_small_cases() {
+        assert_eq!(rle_bits(&[5, 5, 5], 8, 5), 3 * 13);
+        assert_eq!(rle_bits(&[0, 0, 0], 8, 5), 0);
+        // Run of 32 zeros with 5-bit runs (max 31): one explicit zero entry,
+        // then the non-zero.
+        let mut w = vec![0i16; 32];
+        w.push(9);
+        assert_eq!(rle_bits(&w, 8, 5), 2 * 13);
+    }
+
+    #[test]
+    fn rle_cap_prevents_inflation() {
+        let w = vec![1i16; 100]; // fully dense: RLE would be 13 b/weight
+        assert_eq!(rle_bits_capped(&w, 8, 5), 100 * 8);
+        let sparse: Vec<i16> = (0..100).map(|i| if i % 10 == 0 { 4 } else { 0 }).collect();
+        assert!(rle_bits_capped(&sparse, 8, 5) < 100 * 8);
+    }
+
+    #[test]
+    fn table_cost_total_entries_counts_bubbles() {
+        let k1 = vec![1i16; 4];
+        let k2 = vec![8i16; 4];
+        let canonical: Vec<i16> = (1..=8).collect();
+        let stream = GroupStream::build_with_canonical(&[&k1, &k2], &canonical);
+        let cost = table_cost(&stream, &params());
+        assert_eq!(cost.total_entries(), cost.data_entries + cost.skip_entries);
+    }
+}

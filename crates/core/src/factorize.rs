@@ -1,0 +1,333 @@
+//! Dot-product factorization for a single filter (paper §III-A).
+//!
+//! Given a flattened filter (an `R·S·C` weight vector), positions are grouped
+//! by weight value into **activation groups**. A dot product against any
+//! activation vector is then evaluated as a sum-of-products-of-sums: each
+//! group's activations are summed first and multiplied by the unique weight
+//! once.
+//!
+//! The three properties of §III-A hold by construction and are enforced by
+//! tests:
+//!
+//! 1. each activation group corresponds to one unique weight;
+//! 2. the number of groups equals the number of unique (non-zero) weights
+//!    present in the filter;
+//! 3. the size of each group equals that weight's repetition count.
+//!
+//! Groups for the **zero** weight are dropped entirely — weight sparsity is
+//! "a special case of weight repetition".
+
+/// One activation group: the positions in the flattened filter that share a
+/// single unique weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivationGroup {
+    weight: i16,
+    indices: Vec<u32>,
+}
+
+impl ActivationGroup {
+    /// The group's unique (non-zero) weight.
+    #[must_use]
+    pub fn weight(&self) -> i16 {
+        self.weight
+    }
+
+    /// The flattened filter positions belonging to this group, ascending.
+    ///
+    /// These are the `iiT` entries for this group: the indices read out of
+    /// the input buffer and summed before the single multiply.
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Group size = repetition count of [`ActivationGroup::weight`] in the
+    /// filter.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Groups are never empty (empty groups are simply not constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The factorized form of one filter: its activation groups, in canonical
+/// (ascending weight value) order, plus the zero-weight bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::factorize::FilterFactorization;
+///
+/// // Filter {a, b, a, 0, b, a} with a=2, b=-1.
+/// let f = FilterFactorization::build(&[2, -1, 2, 0, -1, 2]);
+/// assert_eq!(f.group_count(), 2);
+/// assert_eq!(f.zero_count(), 1);
+/// // Group for a=2 holds positions {0, 2, 5}.
+/// let a_group = f.groups().iter().find(|g| g.weight() == 2).unwrap();
+/// assert_eq!(a_group.indices(), &[0, 2, 5]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterFactorization {
+    filter_len: usize,
+    groups: Vec<ActivationGroup>,
+    zero_count: usize,
+}
+
+impl FilterFactorization {
+    /// Factorizes a flattened filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    #[must_use]
+    pub fn build(weights: &[i16]) -> Self {
+        assert!(!weights.is_empty(), "cannot factorize an empty filter");
+        // Sort positions by (weight, position): one pass then run-length
+        // split into groups. Zero weights are counted but not stored.
+        let mut order: Vec<u32> = (0..weights.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (weights[i as usize], i));
+
+        let mut groups: Vec<ActivationGroup> = Vec::new();
+        let mut zero_count = 0usize;
+        let mut run_start = 0usize;
+        for i in 0..=order.len() {
+            let boundary = i == order.len()
+                || weights[order[i] as usize] != weights[order[run_start] as usize];
+            if boundary {
+                let w = weights[order[run_start] as usize];
+                if w == 0 {
+                    zero_count = i - run_start;
+                } else {
+                    groups.push(ActivationGroup {
+                        weight: w,
+                        indices: order[run_start..i].to_vec(),
+                    });
+                }
+                run_start = i;
+            }
+            if i == order.len() {
+                break;
+            }
+        }
+        Self {
+            filter_len: weights.len(),
+            groups,
+            zero_count,
+        }
+    }
+
+    /// Number of weights in the original filter (`R·S·C`).
+    #[must_use]
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// The activation groups in canonical (ascending weight) order.
+    #[must_use]
+    pub fn groups(&self) -> &[ActivationGroup] {
+        &self.groups
+    }
+
+    /// Number of activation groups = distinct non-zero weights present.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Occurrences of the zero weight (skipped entirely).
+    #[must_use]
+    pub fn zero_count(&self) -> usize {
+        self.zero_count
+    }
+
+    /// Number of `iiT` entries = non-zero weight positions.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.filter_len - self.zero_count
+    }
+
+    /// Multiplications needed per dot product after factorization (one per
+    /// group). Compare with [`FilterFactorization::filter_len`] for the
+    /// dense count.
+    #[must_use]
+    pub fn multiplies(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Multiplications with the maximum-group-size cap applied (§IV-B): a
+    /// group larger than `cap` is split into `ceil(len/cap)` chunks, each
+    /// requiring its own (early) multiply. The paper uses `cap = 16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn multiplies_with_cap(&self, cap: usize) -> usize {
+        assert!(cap > 0, "group size cap must be positive");
+        self.groups.iter().map(|g| g.len().div_ceil(cap)).sum()
+    }
+
+    /// Additions per dot product: `entry_count - group_count` within-group
+    /// adds plus `group_count` MAC accumulations.
+    #[must_use]
+    pub fn adds(&self) -> usize {
+        self.entry_count()
+    }
+
+    /// Evaluates the factorized dot product against a flattened activation
+    /// tile.
+    ///
+    /// Exactly equals the dense dot product (integer arithmetic) — the
+    /// central correctness claim of §III-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations.len() != filter_len`.
+    #[must_use]
+    pub fn dot(&self, activations: &[i16]) -> i32 {
+        assert_eq!(
+            activations.len(),
+            self.filter_len,
+            "activation tile length mismatch"
+        );
+        let mut sum = 0i32;
+        for group in &self.groups {
+            let mut group_sum = 0i32;
+            for &idx in &group.indices {
+                group_sum += i32::from(activations[idx as usize]);
+            }
+            sum += group_sum * i32::from(group.weight);
+        }
+        sum
+    }
+
+    /// The dense dot product, for comparison in tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn dense_dot(weights: &[i16], activations: &[i16]) -> i32 {
+        assert_eq!(weights.len(), activations.len(), "length mismatch");
+        weights
+            .iter()
+            .zip(activations)
+            .map(|(&w, &a)| i32::from(w) * i32::from(a))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1(b): filter {a, b, a} factors to a·(x+z) + b·y — saves 33% of
+    /// multiplies.
+    #[test]
+    fn figure1b_factored_dot_product() {
+        let (a, b) = (7i16, -3i16);
+        let f = FilterFactorization::build(&[a, b, a]);
+        assert_eq!(f.multiplies(), 2); // down from 3
+        assert_eq!(f.adds(), 3);
+        let (x, y, z) = (11i16, 13, 17);
+        assert_eq!(
+            f.dot(&[x, y, z]),
+            i32::from(a) * (i32::from(x) + i32::from(z)) + i32::from(b) * i32::from(y)
+        );
+        assert_eq!(f.dot(&[x, y, z]), FilterFactorization::dense_dot(&[a, b, a], &[x, y, z]));
+    }
+
+    #[test]
+    fn properties_of_section3a() {
+        // 1. one group per unique weight; 2. group count = unique nonzero
+        // count; 3. group size = repetition count.
+        let w = [5i16, 0, 5, -2, 5, -2, 0, 9];
+        let f = FilterFactorization::build(&w);
+        assert_eq!(f.group_count(), 3);
+        let sizes: Vec<(i16, usize)> = f.groups().iter().map(|g| (g.weight(), g.len())).collect();
+        assert_eq!(sizes, vec![(-2, 2), (5, 3), (9, 1)]); // canonical ascending
+        assert_eq!(f.zero_count(), 2);
+        assert_eq!(f.entry_count(), 6);
+    }
+
+    #[test]
+    fn zero_groups_are_skipped_in_dot() {
+        let w = [0i16, 4, 0, 4];
+        let f = FilterFactorization::build(&w);
+        // Activations under the zero weights must not influence the result.
+        assert_eq!(f.dot(&[100, 1, -100, 2]), 12);
+        assert_eq!(f.multiplies(), 1);
+    }
+
+    #[test]
+    fn all_zero_filter() {
+        let f = FilterFactorization::build(&[0i16; 4]);
+        assert_eq!(f.group_count(), 0);
+        assert_eq!(f.zero_count(), 4);
+        assert_eq!(f.dot(&[1, 2, 3, 4]), 0);
+        assert_eq!(f.multiplies(), 0);
+    }
+
+    #[test]
+    fn all_unique_filter_degenerates_to_dense() {
+        let w = [1i16, 2, 3, 4];
+        let f = FilterFactorization::build(&w);
+        assert_eq!(f.multiplies(), 4); // no savings possible
+        assert_eq!(f.dot(&[1, 1, 1, 1]), 10);
+    }
+
+    #[test]
+    fn group_indices_are_sorted_ascending() {
+        let w = [3i16, 1, 3, 1, 3];
+        let f = FilterFactorization::build(&w);
+        for g in f.groups() {
+            assert!(g.indices().windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn cap_splits_large_groups() {
+        let w = vec![2i16; 40]; // one group of 40
+        let f = FilterFactorization::build(&w);
+        assert_eq!(f.multiplies(), 1);
+        assert_eq!(f.multiplies_with_cap(16), 3); // 16 + 16 + 8
+        assert_eq!(f.multiplies_with_cap(40), 1);
+        assert_eq!(f.multiplies_with_cap(1), 40); // degenerates to dense
+    }
+
+    #[test]
+    fn factorized_equals_dense_on_random_inputs() {
+        // Deterministic pseudo-random check over many shapes.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 17) as i16 - 8
+        };
+        for len in [1usize, 2, 3, 9, 27, 100, 576] {
+            let w: Vec<i16> = (0..len).map(|_| next()).collect();
+            let a: Vec<i16> = (0..len).map(|_| next() * 3).collect();
+            let f = FilterFactorization::build(&w);
+            assert_eq!(f.dot(&a), FilterFactorization::dense_dot(&w, &a), "len={len}");
+            assert!(f.multiplies() <= len.min(16));
+            assert_eq!(f.entry_count() + f.zero_count(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_filter_panics() {
+        let _ = FilterFactorization::build(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_activation_len_panics() {
+        let f = FilterFactorization::build(&[1i16, 2]);
+        let _ = f.dot(&[1i16, 2, 3]);
+    }
+}

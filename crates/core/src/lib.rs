@@ -1,0 +1,66 @@
+//! **UCNN core** — the primary contribution of *UCNN: Exploiting Computational
+//! Reuse in Deep Neural Networks via Weight Repetition* (Hegde et al.,
+//! ISCA 2018), as a reusable library.
+//!
+//! CNN inference is dominated by dot products between weight vectors and
+//! activation vectors. When the number of unique weights `U` is small
+//! (quantized networks), the same weight appears many times per filter, and a
+//! dot product can be *factorized*:
+//!
+//! ```text
+//!   a·x + b·y + a·z      =      a·(x + z) + b·y
+//!   (3 mults, 2 adds)           (2 mults, 2 adds)
+//! ```
+//!
+//! The sets of activations summed together (`{x, z}` above) are **activation
+//! groups** (one per unique weight). Sorting a filter's positions by weight
+//! yields an *input indirection table* (`iiT`) and a 1-bit-per-entry *weight
+//! indirection table* (`wiT`) that a hardware lane can stream through
+//! ([`factorize`]). Hierarchically sorting one table for `G` filters lets
+//! them **share partial sums** (activation-group reuse, [`hierarchy`]), and
+//! compresses the model by `O(G)` ([`encoding`]).
+//!
+//! # Modules
+//!
+//! * [`factorize`] — single-filter activation groups (dot-product
+//!   factorization, paper §III-A).
+//! * [`hierarchy`] — the hierarchically sorted `G`-filter stream that the
+//!   UCNN processing element consumes (§III-B, §IV-C).
+//! * [`encoding`] — bit-exact table encodings (pointer and jump `iiT`,
+//!   1/2-bit `wiT`, skip entries) and model-size accounting (§IV-B/C), plus
+//!   the Eyeriss-style run-length encoding used by the sparse baseline.
+//! * [`exec`] — functional factorized convolution, bit-identical to the
+//!   dense reference (used to validate everything end to end).
+//! * [`compile`] — compiles whole layers into per-tile streams plus the
+//!   aggregate statistics the accelerator simulator consumes.
+//! * [`partial_product`] — the paper's third (unexploited) reuse form,
+//!   partial-product memoization across filters (§III-C), provided as an
+//!   extension for ablation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucnn_core::factorize::FilterFactorization;
+//!
+//! // Figure 1 of the paper: filter {a, b, a} with a repeated.
+//! let fact = FilterFactorization::build(&[3, 5, 3]);
+//! assert_eq!(fact.group_count(), 2);      // two unique non-zero weights
+//! assert_eq!(fact.multiplies(), 2);       // was 3 for the dense dot product
+//! let out = fact.dot(&[10, 20, 30]);      // 3·(10+30) + 5·20
+//! assert_eq!(out, 220);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod compile;
+pub mod encoding;
+pub mod exec;
+pub mod factorize;
+pub mod hierarchy;
+pub mod partial_product;
+
+pub use compile::{LayerPlan, TileStats, UcnnConfig};
+pub use factorize::{ActivationGroup, FilterFactorization};
+pub use hierarchy::{GroupStream, StreamEntry};

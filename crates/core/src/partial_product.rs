@@ -1,0 +1,212 @@
+//! Partial-product reuse (paper §III-C) — the third reuse form, which UCNN's
+//! hardware does **not** exploit ("we do not exploit this form of computation
+//! reuse further in this paper, as it is not directly compatible with the
+//! prior two techniques"). Implemented here as an algorithmic extension so
+//! its headroom can be quantified (`ablate_ppr` bench).
+//!
+//! The idea (Figure 1c): within one input channel, if the same weight value
+//! appears anywhere across the `R·S·K` filter positions, the product
+//! `w · I[c, x, y]` can be memoized and reused across filters and across
+//! filter slides.
+
+use std::collections::HashMap;
+
+use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+
+/// Multiply counts with and without cross-filter partial-product
+/// memoization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartialProductReport {
+    /// Dense multiplies (`W'·H'·K·R·S·C`, zero weights excluded).
+    pub dense_multiplies: usize,
+    /// Distinct `(channel, weight, input position)` products actually
+    /// computed.
+    pub memoized_multiplies: usize,
+}
+
+impl PartialProductReport {
+    /// Multiply reduction factor.
+    #[must_use]
+    pub fn savings(&self) -> f64 {
+        if self.memoized_multiplies == 0 {
+            f64::INFINITY
+        } else {
+            self.dense_multiplies as f64 / self.memoized_multiplies as f64
+        }
+    }
+}
+
+/// Runs a convolution with a per-channel `(weight, x, y) → product` memo
+/// table, returning the output (bit-identical to the dense reference) and
+/// the multiply accounting.
+///
+/// This models infinite memoization capacity — an upper bound on what
+/// §III-C could save.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `geom`.
+#[must_use]
+pub fn memoized_conv(
+    geom: &ConvGeom,
+    input: &Tensor3<i16>,
+    filters: &Tensor4<i16>,
+) -> (Tensor3<i32>, PartialProductReport) {
+    assert_eq!(input.c(), geom.c(), "input channel mismatch");
+    assert_eq!(filters.k(), geom.k(), "filter count mismatch");
+
+    let (out_w, out_h) = (geom.out_w(), geom.out_h());
+    let stride = geom.stride() as isize;
+    let pad = geom.pad() as isize;
+
+    let mut cache: HashMap<(usize, i16, isize, isize), i32> = HashMap::new();
+    let mut report = PartialProductReport::default();
+    let mut out = Tensor3::<i32>::zeros(geom.k(), out_w, out_h);
+
+    for k in 0..geom.k() {
+        for x in 0..out_w {
+            for y in 0..out_h {
+                let mut sum = 0i32;
+                for c in 0..geom.c() {
+                    for r in 0..geom.r() {
+                        for s in 0..geom.s() {
+                            let w = filters[(k, c, r, s)];
+                            if w == 0 {
+                                continue;
+                            }
+                            report.dense_multiplies += 1;
+                            let ix = x as isize * stride + r as isize - pad;
+                            let iy = y as isize * stride + s as isize - pad;
+                            let product = *cache.entry((c, w, ix, iy)).or_insert_with(|| {
+                                report.memoized_multiplies += 1;
+                                i32::from(w) * i32::from(input.at_padded(c, ix, iy))
+                            });
+                            sum += product;
+                        }
+                    }
+                }
+                out[(k, x, y)] = sum;
+            }
+        }
+    }
+    (out, report)
+}
+
+/// Analytic upper bound on §III-C savings without running the convolution:
+/// products needed = Σ over channels of (distinct non-zero weights used in
+/// that channel across all `R·S·K` positions) × (input positions touched).
+///
+/// # Panics
+///
+/// Panics if `filters` shape disagrees with `geom`.
+#[must_use]
+pub fn analyze(geom: &ConvGeom, filters: &Tensor4<i16>) -> PartialProductReport {
+    assert_eq!(filters.k(), geom.k(), "filter count mismatch");
+    assert_eq!(filters.c(), geom.c(), "filter channel mismatch");
+
+    // Positions touched per channel: the whole (padded) input window that
+    // any filter element can reach.
+    let touched = (geom.out_w() + geom.r() - 1) * (geom.out_h() + geom.s() - 1);
+
+    let mut dense = 0usize;
+    let mut products = 0usize;
+    for c in 0..geom.c() {
+        let mut distinct: Vec<i16> = Vec::new();
+        let mut nonzero_positions = 0usize;
+        for k in 0..geom.k() {
+            for r in 0..geom.r() {
+                for s in 0..geom.s() {
+                    let w = filters[(k, c, r, s)];
+                    if w != 0 {
+                        nonzero_positions += 1;
+                        if !distinct.contains(&w) {
+                            distinct.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        dense += nonzero_positions * geom.out_w() * geom.out_h();
+        products += distinct.len() * touched;
+    }
+    PartialProductReport {
+        dense_multiplies: dense,
+        memoized_multiplies: products,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucnn_model::reference;
+    use ucnn_model::{ActivationGen, QuantScheme, WeightGen};
+
+    /// Figure 1(c): 1-D filter {a, b, a} sliding over an input — partial
+    /// products with `a` are memoized and reused two slides later.
+    #[test]
+    fn figure1c_memoizes_slide_reuse() {
+        let geom = ConvGeom::new(8, 1, 1, 1, 3, 1);
+        let input = Tensor3::from_vec(1, 8, 1, vec![1i16, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let filters = Tensor4::from_vec(1, 1, 3, 1, vec![3i16, 5, 3]).unwrap();
+        let (out, report) = memoized_conv(&geom, &input, &filters);
+        assert_eq!(out, reference::conv2d(&geom, 1, &input, &filters));
+        // Dense: 6 outputs × 3 = 18 multiplies. Memoized: a·x for 8
+        // positions + b·x for the 6 middle positions = 14 products.
+        assert_eq!(report.dense_multiplies, 18);
+        assert_eq!(report.memoized_multiplies, 8 + 6);
+        assert!(report.savings() > 1.2);
+    }
+
+    #[test]
+    fn memoized_equals_reference_on_random_layer() {
+        let geom = ConvGeom::new(7, 7, 4, 6, 3, 3).with_pad(1);
+        let mut wgen = WeightGen::new(QuantScheme::ttq(), 21).with_density(0.6);
+        let filters = wgen.generate_dims(6, 4, 3, 3);
+        let mut agen = ActivationGen::new(22);
+        let input = agen.generate(4, 7, 7);
+        let (out, report) = memoized_conv(&geom, &input, &filters);
+        assert_eq!(out, reference::conv2d(&geom, 1, &input, &filters));
+        // TTQ has 2 non-zero values: massive cross-filter reuse.
+        assert!(report.savings() > 3.0, "savings = {}", report.savings());
+    }
+
+    #[test]
+    fn analyze_bounds_actual_memoization() {
+        // The analytic count assumes every touched position needs every
+        // distinct weight — an upper bound on products (lower bound on
+        // savings).
+        let geom = ConvGeom::new(7, 7, 3, 4, 3, 3);
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 5).with_density(0.8);
+        let filters = wgen.generate_dims(4, 3, 3, 3);
+        let mut agen = ActivationGen::new(6);
+        let input = agen.generate(3, 7, 7);
+        let (_, actual) = memoized_conv(&geom, &input, &filters);
+        let analytic = analyze(&geom, &filters);
+        assert_eq!(analytic.dense_multiplies, actual.dense_multiplies);
+        assert!(analytic.memoized_multiplies >= actual.memoized_multiplies);
+    }
+
+    #[test]
+    fn zero_weights_need_no_products() {
+        let geom = ConvGeom::new(4, 4, 1, 1, 2, 2);
+        let input = Tensor3::filled(1, 4, 4, 3i16);
+        let filters = Tensor4::from_vec(1, 1, 2, 2, vec![0i16, 0, 0, 0]).unwrap();
+        let (out, report) = memoized_conv(&geom, &input, &filters);
+        assert!(out.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(report.dense_multiplies, 0);
+        assert_eq!(report.memoized_multiplies, 0);
+    }
+
+    #[test]
+    fn savings_grow_with_filter_count() {
+        // More filters per channel → more reuse of the same products.
+        let mut wgen = WeightGen::new(QuantScheme::ttq(), 9).with_density(0.8);
+        let geom_small = ConvGeom::new(6, 6, 2, 2, 3, 3);
+        let geom_large = ConvGeom::new(6, 6, 2, 16, 3, 3);
+        let f_small = wgen.generate_dims(2, 2, 3, 3);
+        let f_large = wgen.generate_dims(16, 2, 3, 3);
+        let a = analyze(&geom_small, &f_small);
+        let b = analyze(&geom_large, &f_large);
+        assert!(b.savings() > a.savings());
+    }
+}

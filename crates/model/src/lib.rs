@@ -1,0 +1,46 @@
+//! CNN model substrate for the UCNN reproduction: layer/network specifications,
+//! weight-quantization schemes, synthetic weight/activation generation, direct
+//! (dense) reference convolution, and weight-repetition statistics.
+//!
+//! The UCNN paper evaluates three networks — a LeNet-like CIFAR-10 CNN,
+//! AlexNet, and ResNet-50 — trained with quantization schemes that shrink the
+//! number of *unique* weights `U` (INQ: `U = 17`, TTQ: `U = 3`, 8-bit: `U ≤
+//! 256`). This crate reproduces that setting without the original trained
+//! models: [`QuantScheme`] defines the exact value grids, [`WeightGen`]
+//! produces weight tensors on the real layer shapes with controlled density
+//! and value distribution, and [`stats`] measures the weight repetition that
+//! UCNN exploits (the paper's Figure 3).
+//!
+//! The substitution is sound because every UCNN mechanism depends only on the
+//! *pattern* of weight repetition (`U`, density, distribution over values) —
+//! not on what the network classifies. The paper itself evaluates Figures 9,
+//! 11 and 13 on uniform-random weights at fixed densities.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucnn_model::{networks, QuantScheme, WeightGen};
+//!
+//! let net = networks::lenet();
+//! let scheme = QuantScheme::inq(); // U = 17, powers of two
+//! let mut gen = WeightGen::new(scheme, 0xACC).with_density(0.9);
+//!
+//! let conv1 = &net.conv_layers()[0];
+//! let weights = gen.generate(conv1);
+//! assert_eq!(weights.k(), 32);
+//! assert!(weights.density() > 0.8 && weights.density() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod layer;
+pub mod networks;
+mod quant;
+pub mod reference;
+pub mod stats;
+
+pub use gen::{ActivationGen, WeightGen};
+pub use layer::{ConvLayer, LayerKind, LayerSpec, NetworkSpec, PoolKind};
+pub use quant::{QuantScheme, ValueDist};

@@ -1,0 +1,369 @@
+//! The three networks of the paper's evaluation (§VI-A): a LeNet-like
+//! CIFAR-10 CNN, AlexNet, and ResNet-50 — plus small synthetic networks for
+//! tests.
+//!
+//! Shapes follow the original model definitions (Caffe `cifar10_quick`,
+//! Krizhevsky's AlexNet with its two-group convolutions, and He et al.'s
+//! ResNet-50 v1 bottleneck layout).
+
+use ucnn_tensor::ConvGeom;
+
+use crate::{LayerSpec, NetworkSpec, PoolKind};
+
+/// The LeNet-like CIFAR-10 network (Caffe `cifar10_quick`): three 5×5
+/// convolutions with pooling, then two fully connected layers.
+///
+/// Figure 3 of the paper reports repetition for `conv1..conv3`.
+#[must_use]
+pub fn lenet() -> NetworkSpec {
+    let mut net = NetworkSpec::new("LeNet");
+    net.push(LayerSpec::conv(
+        "conv1",
+        ConvGeom::new(32, 32, 3, 32, 5, 5).with_pad(2),
+    ));
+    net.push(LayerSpec::pool("pool1", PoolKind::Max, 3, 2));
+    net.push(LayerSpec::conv(
+        "conv2",
+        ConvGeom::new(16, 16, 32, 32, 5, 5).with_pad(2),
+    ));
+    net.push(LayerSpec::pool("pool2", PoolKind::Avg, 3, 2));
+    net.push(LayerSpec::conv(
+        "conv3",
+        ConvGeom::new(8, 8, 32, 64, 5, 5).with_pad(2),
+    ));
+    net.push(LayerSpec::pool("pool3", PoolKind::Avg, 3, 2));
+    net.push(LayerSpec::fully_connected("ip1", 64 * 4 * 4, 64));
+    net.push(LayerSpec::fully_connected("ip2", 64, 10));
+    net
+}
+
+/// AlexNet ([Krizhevsky et al., NIPS'12]) with its original two-group
+/// conv2/conv4/conv5 (so per-filter channel counts are 48/192, matching the
+/// paper's Figure 3 methodology).
+///
+/// [Krizhevsky et al., NIPS'12]: https://papers.nips.cc/paper/4824
+#[must_use]
+pub fn alexnet() -> NetworkSpec {
+    let mut net = NetworkSpec::new("AlexNet");
+    net.push(LayerSpec::conv(
+        "conv1",
+        ConvGeom::new(227, 227, 3, 96, 11, 11).with_stride(4),
+    ));
+    net.push(LayerSpec::pool("pool1", PoolKind::Max, 3, 2));
+    net.push(LayerSpec::grouped_conv(
+        "conv2",
+        ConvGeom::new(27, 27, 48, 256, 5, 5).with_pad(2),
+        2,
+    ));
+    net.push(LayerSpec::pool("pool2", PoolKind::Max, 3, 2));
+    net.push(LayerSpec::conv(
+        "conv3",
+        ConvGeom::new(13, 13, 256, 384, 3, 3).with_pad(1),
+    ));
+    net.push(LayerSpec::grouped_conv(
+        "conv4",
+        ConvGeom::new(13, 13, 192, 384, 3, 3).with_pad(1),
+        2,
+    ));
+    net.push(LayerSpec::grouped_conv(
+        "conv5",
+        ConvGeom::new(13, 13, 192, 256, 3, 3).with_pad(1),
+        2,
+    ));
+    net.push(LayerSpec::pool("pool5", PoolKind::Max, 3, 2));
+    net.push(LayerSpec::fully_connected("fc6", 256 * 6 * 6, 4096));
+    net.push(LayerSpec::fully_connected("fc7", 4096, 4096));
+    net.push(LayerSpec::fully_connected("fc8", 4096, 1000));
+    net
+}
+
+/// ResNet-50 v1 ([He et al., CVPR'16]): conv1 + 4 bottleneck modules
+/// (3/4/6/3 blocks) + final FC. Projection shortcuts are included.
+///
+/// Layer naming: `M<module>B<block>L<1..3>` for bottleneck layers (`L1` =
+/// 1×1 reduce, `L2` = 3×3, `L3` = 1×1 expand) and `M<module>B1proj` for the
+/// projection shortcut, so the paper's "MxLy" selections (Figure 3) map to
+/// `MxB2Ly` (a representative non-first block — all non-first blocks of a
+/// module share shapes).
+///
+/// [He et al., CVPR'16]: https://arxiv.org/abs/1512.03385
+#[must_use]
+pub fn resnet50() -> NetworkSpec {
+    let mut net = NetworkSpec::new("ResNet-50");
+    net.push(LayerSpec::conv(
+        "conv1",
+        ConvGeom::new(224, 224, 3, 64, 7, 7).with_stride(2).with_pad(3),
+    ));
+    net.push(LayerSpec::pool("pool1", PoolKind::Max, 3, 2));
+
+    // (module, blocks, spatial, c_in_first, c_mid, c_out)
+    let modules: [(usize, usize, usize, usize, usize, usize); 4] = [
+        (1, 3, 56, 64, 64, 256),
+        (2, 4, 28, 256, 128, 512),
+        (3, 6, 14, 512, 256, 1024),
+        (4, 3, 7, 1024, 512, 2048),
+    ];
+
+    for &(m, blocks, spatial, c_in_first, c_mid, c_out) in &modules {
+        for b in 1..=blocks {
+            let first = b == 1;
+            let c_in = if first { c_in_first } else { c_out };
+            // Downsampling (stride 2) happens in the first block of modules
+            // 2..4, applied at L1 (ResNet v1).
+            let stride = if first && m > 1 { 2 } else { 1 };
+            let (in_sp, out_sp) = if first && m > 1 {
+                (spatial * 2, spatial)
+            } else {
+                (spatial, spatial)
+            };
+            net.push(LayerSpec::conv(
+                format!("M{m}B{b}L1"),
+                ConvGeom::new(in_sp, in_sp, c_in, c_mid, 1, 1).with_stride(stride),
+            ));
+            net.push(LayerSpec::conv(
+                format!("M{m}B{b}L2"),
+                ConvGeom::new(out_sp, out_sp, c_mid, c_mid, 3, 3).with_pad(1),
+            ));
+            net.push(LayerSpec::conv(
+                format!("M{m}B{b}L3"),
+                ConvGeom::new(out_sp, out_sp, c_mid, c_out, 1, 1),
+            ));
+            if first {
+                net.push(LayerSpec::conv(
+                    format!("M{m}B1proj"),
+                    ConvGeom::new(in_sp, in_sp, c_in, c_out, 1, 1).with_stride(stride),
+                ));
+            }
+        }
+    }
+
+    net.push(LayerSpec::fully_connected("fc", 2048, 1000));
+    net
+}
+
+/// VGG-16 ([Simonyan & Zisserman, ICLR'15]): thirteen 3×3 convolutions in
+/// five blocks plus three FC layers. Not part of the paper's evaluation
+/// trio, but a standard target for weight-repetition studies (every conv
+/// filter has `R·S·C ≥ 576 ≫ U`), included for downstream use.
+///
+/// [Simonyan & Zisserman, ICLR'15]: https://arxiv.org/abs/1409.1556
+#[must_use]
+pub fn vgg16() -> NetworkSpec {
+    let mut net = NetworkSpec::new("VGG-16");
+    // (block, convs, spatial, c_in, c_out)
+    let blocks: [(usize, usize, usize, usize, usize); 5] = [
+        (1, 2, 224, 3, 64),
+        (2, 2, 112, 64, 128),
+        (3, 3, 56, 128, 256),
+        (4, 3, 28, 256, 512),
+        (5, 3, 14, 512, 512),
+    ];
+    for &(b, convs, spatial, c_in, c_out) in &blocks {
+        for i in 1..=convs {
+            let c = if i == 1 { c_in } else { c_out };
+            net.push(LayerSpec::conv(
+                format!("conv{b}_{i}"),
+                ConvGeom::new(spatial, spatial, c, c_out, 3, 3).with_pad(1),
+            ));
+        }
+        net.push(LayerSpec::pool(format!("pool{b}"), PoolKind::Max, 2, 2));
+    }
+    net.push(LayerSpec::fully_connected("fc6", 512 * 7 * 7, 4096));
+    net.push(LayerSpec::fully_connected("fc7", 4096, 4096));
+    net.push(LayerSpec::fully_connected("fc8", 4096, 1000));
+    net
+}
+
+/// The representative layer names used by the paper's Figure 3, per network.
+///
+/// For ResNet the paper shows "one instance of each module"; we use block 2
+/// (the steady-state shape of the module).
+#[must_use]
+pub fn figure3_layers(net: &NetworkSpec) -> Vec<String> {
+    match net.name() {
+        "LeNet" => vec!["conv1", "conv2", "conv3"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        "AlexNet" => vec!["conv1", "conv2", "conv3", "conv4", "conv5"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        "ResNet-50" => {
+            let mut names = Vec::new();
+            for m in 1..=4 {
+                for l in 1..=3 {
+                    names.push(format!("M{m}B2L{l}"));
+                }
+            }
+            names
+        }
+        _ => net
+            .conv_layers()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect(),
+    }
+}
+
+/// The four 3×3 ResNet layers highlighted in Figure 10, `C:K:R:S` =
+/// 64:64:3:3, 128:128:3:3, 256:256:3:3, 512:512:3:3.
+#[must_use]
+pub fn figure10_layers() -> Vec<String> {
+    (1..=4).map(|m| format!("M{m}B2L2")).collect()
+}
+
+/// A small three-layer network used by tests and examples: fast to execute
+/// functionally yet large enough to show repetition (`R·S·C ≫ U`).
+#[must_use]
+pub fn tiny() -> NetworkSpec {
+    let mut net = NetworkSpec::new("tiny");
+    net.push(LayerSpec::conv(
+        "conv1",
+        ConvGeom::new(12, 12, 3, 8, 3, 3).with_pad(1),
+    ));
+    net.push(LayerSpec::conv(
+        "conv2",
+        ConvGeom::new(12, 12, 8, 16, 3, 3).with_pad(1),
+    ));
+    net.push(LayerSpec::pool("pool", PoolKind::Max, 2, 2));
+    net.push(LayerSpec::fully_connected("fc", 16 * 6 * 6, 10));
+    net
+}
+
+/// All three evaluation networks, in the order the paper plots them.
+#[must_use]
+pub fn evaluation_suite() -> Vec<NetworkSpec> {
+    vec![lenet(), alexnet(), resnet50()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes() {
+        let net = lenet();
+        let convs = net.conv_layers();
+        assert_eq!(convs.len(), 5); // 3 conv + 2 fc
+        assert_eq!(convs[0].geom().out_w(), 32); // pad-2 5×5 keeps 32
+        assert_eq!(convs[2].geom().c(), 32);
+        assert_eq!(convs[2].geom().k(), 64);
+    }
+
+    #[test]
+    fn alexnet_conv_shapes_match_paper() {
+        let net = alexnet();
+        let conv1 = net.conv_layer("conv1").unwrap();
+        assert_eq!(conv1.geom().out_w(), 55);
+        let conv2 = net.conv_layer("conv2").unwrap();
+        assert_eq!(conv2.geom().c(), 48); // grouped
+        assert_eq!(conv2.groups(), 2);
+        assert_eq!(conv2.geom().out_w(), 27);
+        let conv5 = net.conv_layer("conv5").unwrap();
+        assert_eq!(conv5.geom().k(), 256);
+    }
+
+    #[test]
+    fn alexnet_total_weights_is_about_61m() {
+        // AlexNet has ~60.9M parameters, dominated by the FC layers.
+        let net = alexnet();
+        let total = net.total_weights();
+        assert!(
+            (58_000_000..64_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn resnet50_has_53_convs_plus_fc() {
+        let net = resnet50();
+        // conv1 + (3+4+6+3)·3 bottleneck convs + 4 projections = 53.
+        assert_eq!(net.conv_layers().len(), 54);
+        let total = net.total_weights();
+        // ResNet-50 has ~25.5M parameters.
+        assert!(
+            (23_000_000..27_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn resnet50_macs_are_about_4g() {
+        let net = resnet50();
+        let macs = net.total_macs();
+        // ~3.8 GMACs for 224×224 inference.
+        assert!((3_000_000_000..4_800_000_000).contains(&macs), "macs={macs}");
+    }
+
+    #[test]
+    fn resnet_figure10_layer_shapes() {
+        let net = resnet50();
+        let expected = [(64, 64, 56), (128, 128, 28), (256, 256, 14), (512, 512, 7)];
+        for (name, (c, k, sp)) in figure10_layers().iter().zip(expected) {
+            let layer = net.conv_layer(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(layer.geom().c(), c, "{name}");
+            assert_eq!(layer.geom().k(), k, "{name}");
+            assert_eq!(layer.geom().in_w(), sp, "{name}");
+            assert_eq!(layer.geom().r(), 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn figure3_selection_exists() {
+        for net in evaluation_suite() {
+            for name in figure3_layers(&net) {
+                assert!(
+                    net.conv_layer(&name).is_some(),
+                    "{} missing {name}",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vgg16_shapes_and_totals() {
+        let net = vgg16();
+        assert_eq!(net.conv_layers().len(), 16); // 13 convs + 3 FCs
+        // ~138M parameters, dominated by fc6.
+        let total = net.total_weights();
+        assert!((130_000_000..145_000_000).contains(&total), "total={total}");
+        // ~15.3 GMACs for 224×224 inference.
+        let macs = net.total_macs();
+        assert!((14_000_000_000..16_500_000_000).contains(&macs), "macs={macs}");
+        let c53 = net.conv_layer("conv5_3").unwrap();
+        assert_eq!(c53.geom().c(), 512);
+        assert_eq!(c53.geom().out_w(), 14);
+    }
+
+    #[test]
+    fn resnet_downsampling_halves_spatial() {
+        let net = resnet50();
+        let m2l1 = net.conv_layer("M2B1L1").unwrap();
+        assert_eq!(m2l1.geom().in_w(), 56);
+        assert_eq!(m2l1.geom().out_w(), 28);
+        let m2l2 = net.conv_layer("M2B1L2").unwrap();
+        assert_eq!(m2l2.geom().in_w(), 28);
+    }
+
+    #[test]
+    fn every_resnet_layer_after_first_exceeds_256_weights_per_filter() {
+        // §II-B: "every layer except the first layer in ResNet-50 has more
+        // than 256 weights per filter" — weight repetition guaranteed at
+        // U=256. (1×1×64 reduce layers in module 1 are the small exception
+        // with 64; the claim holds for filter size > U for U = 17.)
+        let net = resnet50();
+        for layer in net.conv_layers() {
+            if layer.name() == "conv1" || layer.is_fc() {
+                continue;
+            }
+            assert!(
+                layer.geom().filter_size() > 17,
+                "{} filter_size={}",
+                layer.name(),
+                layer.geom().filter_size()
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Weight-quantization schemes: the value grids that create weight repetition.
+//!
+//! Section II-B of the paper observes that while filter sizes have stayed
+//! large, the number of unique weights `U` has collapsed — to 17 for INQ, 3
+//! for TTQ, ≤256 for 8-bit fixed point — which *guarantees* repetition by the
+//! pigeonhole principle whenever `U < R·S·C`.
+
+use std::fmt;
+
+/// Distribution over the non-zero values of a quantization grid, used when
+/// synthesizing weights.
+///
+/// Trained low-`U` networks do not use their value grid uniformly: small
+/// magnitudes are more common. [`ValueDist::Geometric`] models this (value
+/// rank `i` drawn with probability ∝ `ratio^i`); [`ValueDist::Uniform`] is
+/// the paper's design-space methodology for Figures 9/11/13 ("set the
+/// remaining weights to non-zero values via a uniform distribution").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueDist {
+    /// Every non-zero grid value equally likely.
+    Uniform,
+    /// Grid value of magnitude rank `i` (0 = smallest) has weight `ratio^i`.
+    Geometric {
+        /// Decay ratio in `(0, 1]`; `1.0` degenerates to uniform.
+        ratio: f64,
+    },
+}
+
+impl Default for ValueDist {
+    fn default() -> Self {
+        ValueDist::Uniform
+    }
+}
+
+/// A weight-quantization scheme: the set of representable weight values.
+///
+/// All schemes include zero (weight sparsity is "a special case of weight
+/// repetition", §I). Values are represented as `i16` fixed-point integers;
+/// the absolute scale is irrelevant to UCNN, only value *identity* matters.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_model::QuantScheme;
+///
+/// assert_eq!(QuantScheme::inq().unique_weights(), 17);
+/// assert_eq!(QuantScheme::ttq().unique_weights(), 3);
+/// assert_eq!(QuantScheme::fixed_bits(8).unique_weights(), 256);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantScheme {
+    name: &'static str,
+    /// Non-zero representable values, sorted by magnitude rank (smallest
+    /// first) so `ValueDist::Geometric` can weight them.
+    nonzero_values: Vec<i16>,
+    dist: ValueDist,
+}
+
+impl QuantScheme {
+    /// Incremental Network Quantization ([Zhou et al., ICLR'17]): weights are
+    /// zero or `±2^e`. `U = 17` (16 non-zero powers of two plus zero), the
+    /// configuration used throughout the paper's evaluation.
+    ///
+    /// Uses a mildly geometric value distribution (small magnitudes more
+    /// common), which is what trained INQ models exhibit; this produces the
+    /// uneven activation-group sizes that exercise UCNN's skip-entry logic.
+    ///
+    /// [Zhou et al., ICLR'17]: https://arxiv.org/abs/1702.03044
+    #[must_use]
+    pub fn inq() -> Self {
+        let mut values = Vec::with_capacity(16);
+        // 8 magnitudes × 2 signs = 16 non-zero values: ±1, ±2, ..., ±128.
+        for e in 0..8u32 {
+            let m = 1i16 << e;
+            values.push(m);
+            values.push(-m);
+        }
+        Self {
+            name: "INQ",
+            nonzero_values: values,
+            dist: ValueDist::Geometric { ratio: 0.85 },
+        }
+    }
+
+    /// Trained Ternary Quantization ([Zhu et al., 2016]): weights in
+    /// `{−w_n, 0, +w_p}`. `U = 3`.
+    ///
+    /// [Zhu et al., 2016]: https://arxiv.org/abs/1612.01064
+    #[must_use]
+    pub fn ttq() -> Self {
+        Self {
+            name: "TTQ",
+            nonzero_values: vec![64, -64],
+            dist: ValueDist::Uniform,
+        }
+    }
+
+    /// Plain `bits`-bit fixed point: `U = 2^bits` values including zero.
+    ///
+    /// This is the "out-of-the-box (not re-trained)" setting of §II-B: e.g.
+    /// `fixed_bits(8)` gives `U = 256`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 12` (the representation is `i16`).
+    #[must_use]
+    pub fn fixed_bits(bits: u32) -> Self {
+        assert!((2..=12).contains(&bits), "fixed_bits supports 2..=12 bits");
+        let half = 1i32 << (bits - 1);
+        // Symmetric grid: ±1..=half-1 plus the extra negative value -half,
+        // totalling 2^bits - 1 non-zero values (+ zero = 2^bits unique).
+        let mut values: Vec<i16> = Vec::with_capacity((1 << bits) - 1);
+        for m in 1..half {
+            values.push(m as i16);
+            values.push(-m as i16);
+        }
+        values.push(-half as i16);
+        Self {
+            name: "fixed",
+            nonzero_values: values,
+            dist: ValueDist::Uniform,
+        }
+    }
+
+    /// A design-space scheme with exactly `u` unique weights (including
+    /// zero), uniformly distributed — the methodology of the paper's §VI-B
+    /// energy sweeps (`U = 3, 17, 64, 256`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u < 2` or `u > 4096`.
+    #[must_use]
+    pub fn uniform_unique(u: usize) -> Self {
+        assert!((2..=4096).contains(&u), "uniform_unique supports 2..=4096");
+        // u - 1 non-zero values, alternating sign, distinct magnitudes.
+        let mut values = Vec::with_capacity(u - 1);
+        let mut m = 1i16;
+        loop {
+            if values.len() == u - 1 {
+                break;
+            }
+            values.push(m);
+            if values.len() == u - 1 {
+                break;
+            }
+            values.push(-m);
+            m += 1;
+        }
+        Self {
+            name: "uniform",
+            nonzero_values: values,
+            dist: ValueDist::Uniform,
+        }
+    }
+
+    /// Overrides the distribution over non-zero values.
+    #[must_use]
+    pub fn with_dist(mut self, dist: ValueDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Scheme name (`"INQ"`, `"TTQ"`, `"fixed"`, `"uniform"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of unique weights `U`, counting zero.
+    #[must_use]
+    pub fn unique_weights(&self) -> usize {
+        self.nonzero_values.len() + 1
+    }
+
+    /// The non-zero representable values, ordered by magnitude rank.
+    #[must_use]
+    pub fn nonzero_values(&self) -> &[i16] {
+        &self.nonzero_values
+    }
+
+    /// Distribution used to draw non-zero values.
+    #[must_use]
+    pub fn dist(&self) -> ValueDist {
+        self.dist
+    }
+
+    /// Cumulative sampling weights over `nonzero_values`, normalized to 1.0.
+    ///
+    /// Exposed so generators and tests share one definition.
+    #[must_use]
+    pub fn value_cdf(&self) -> Vec<f64> {
+        let n = self.nonzero_values.len();
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(n);
+        for i in 0..n {
+            let w = match self.dist {
+                ValueDist::Uniform => 1.0,
+                // Both signs of a magnitude share a rank.
+                ValueDist::Geometric { ratio } => ratio.powi((i / 2) as i32),
+            };
+            acc += w;
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        cdf
+    }
+
+    /// Quantizes an arbitrary value to the nearest representable grid point
+    /// (zero included).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ucnn_model::QuantScheme;
+    ///
+    /// let inq = QuantScheme::inq();
+    /// assert_eq!(inq.quantize(100), 128); // nearest power of two
+    /// assert_eq!(inq.quantize(-3), -2);
+    /// assert_eq!(inq.quantize(0), 0);
+    /// ```
+    #[must_use]
+    pub fn quantize(&self, value: i32) -> i16 {
+        let mut best = 0i16;
+        let mut best_err = (value).abs();
+        for &v in &self.nonzero_values {
+            let err = (value - i32::from(v)).abs();
+            if err < best_err {
+                best_err = err;
+                best = v;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (U={})", self.name, self.unique_weights())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inq_grid_is_signed_powers_of_two() {
+        let inq = QuantScheme::inq();
+        assert_eq!(inq.unique_weights(), 17);
+        for &v in inq.nonzero_values() {
+            let m = v.unsigned_abs();
+            assert!(m.is_power_of_two(), "{v} is not a signed power of two");
+        }
+        // All distinct.
+        let mut vals: Vec<i16> = inq.nonzero_values().to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 16);
+    }
+
+    #[test]
+    fn ttq_grid_is_ternary() {
+        let ttq = QuantScheme::ttq();
+        assert_eq!(ttq.unique_weights(), 3);
+        assert_eq!(ttq.nonzero_values().len(), 2);
+        assert_eq!(ttq.nonzero_values()[0], -ttq.nonzero_values()[1]);
+    }
+
+    #[test]
+    fn fixed_bits_counts() {
+        for bits in 2..=10 {
+            let s = QuantScheme::fixed_bits(bits);
+            assert_eq!(s.unique_weights(), 1 << bits, "bits={bits}");
+            let mut vals: Vec<i16> = s.nonzero_values().to_vec();
+            vals.sort_unstable();
+            vals.dedup();
+            assert_eq!(vals.len(), (1usize << bits) - 1, "distinct, bits={bits}");
+        }
+    }
+
+    #[test]
+    fn uniform_unique_counts() {
+        for u in [3usize, 17, 64, 256] {
+            let s = QuantScheme::uniform_unique(u);
+            assert_eq!(s.unique_weights(), u);
+            let mut vals: Vec<i16> = s.nonzero_values().to_vec();
+            vals.sort_unstable();
+            vals.dedup();
+            assert_eq!(vals.len(), u - 1);
+            assert!(!vals.contains(&0));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        for scheme in [
+            QuantScheme::inq(),
+            QuantScheme::ttq(),
+            QuantScheme::uniform_unique(64),
+        ] {
+            let cdf = scheme.value_cdf();
+            assert_eq!(cdf.len(), scheme.nonzero_values().len());
+            for pair in cdf.windows(2) {
+                assert!(pair[0] <= pair[1]);
+            }
+            assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_cdf_prefers_small_magnitudes() {
+        let inq = QuantScheme::inq();
+        let cdf = inq.value_cdf();
+        // First magnitude rank (±1) should take more than the uniform share
+        // 2/16 = 0.125.
+        assert!(cdf[1] > 0.125);
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid() {
+        let inq = QuantScheme::inq();
+        for raw in [-200i32, -100, -5, -1, 0, 1, 3, 77, 500] {
+            let q = inq.quantize(raw);
+            assert!(q == 0 || inq.nonzero_values().contains(&q));
+        }
+        assert_eq!(QuantScheme::ttq().quantize(1000), 64);
+    }
+
+    #[test]
+    fn display_shows_u() {
+        assert_eq!(QuantScheme::inq().to_string(), "INQ (U=17)");
+    }
+}

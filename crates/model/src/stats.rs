@@ -1,0 +1,254 @@
+//! Weight-repetition statistics — the measurement behind the paper's
+//! Figure 3 and the opportunity UCNN exploits.
+//!
+//! For each filter, the repetition of a weight value is the number of times it
+//! occurs in the filter's `R·S·C` weights. Figure 3 plots, per layer:
+//!
+//! * the average repetition of **each non-zero** value (averaged over the
+//!   distinct non-zero values present in a filter, then over filters), and
+//! * the repetition of the **zero** weight (averaged over filters),
+//!
+//! with error bars showing the standard deviation across filters.
+
+use std::collections::HashMap;
+
+use ucnn_tensor::Tensor4;
+
+/// Repetition statistics for a single filter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FilterRepetition {
+    /// Occurrences of the zero weight.
+    pub zero_count: usize,
+    /// Mean occurrences per distinct non-zero value present.
+    pub mean_nonzero_repetition: f64,
+    /// Number of distinct non-zero values present (≤ `U − 1`).
+    pub distinct_nonzero: usize,
+    /// Filter size `R·S·C`.
+    pub filter_size: usize,
+}
+
+impl FilterRepetition {
+    /// Measures one filter given its flattened weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    #[must_use]
+    pub fn measure(weights: &[i16]) -> Self {
+        assert!(!weights.is_empty(), "cannot measure an empty filter");
+        let mut counts: HashMap<i16, usize> = HashMap::new();
+        for &w in weights {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+        let zero_count = counts.remove(&0).unwrap_or(0);
+        let distinct_nonzero = counts.len();
+        let mean_nonzero_repetition = if distinct_nonzero == 0 {
+            0.0
+        } else {
+            counts.values().sum::<usize>() as f64 / distinct_nonzero as f64
+        };
+        Self {
+            zero_count,
+            mean_nonzero_repetition,
+            distinct_nonzero,
+            filter_size: weights.len(),
+        }
+    }
+}
+
+/// Mean/standard-deviation pair.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and population standard deviation of `values`.
+    ///
+    /// Returns zeros for an empty slice.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Per-layer repetition summary: one bar (plus error bar) of Figure 3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerRepetition {
+    /// Layer name.
+    pub layer: String,
+    /// Avg (over filters) of mean per-non-zero repetition; the "Each
+    /// non-zero" bar.
+    pub nonzero: MeanStd,
+    /// Avg (over filters) of zero-weight repetition; the "Zero" bar.
+    pub zero: MeanStd,
+    /// Average count of distinct non-zero values per filter.
+    pub mean_distinct_nonzero: f64,
+    /// Filter size `R·S·C`.
+    pub filter_size: usize,
+    /// Filter count `K`.
+    pub filters: usize,
+}
+
+impl LayerRepetition {
+    /// Measures a whole layer's filter bank.
+    #[must_use]
+    pub fn measure(layer: impl Into<String>, weights: &Tensor4<i16>) -> Self {
+        let per_filter: Vec<FilterRepetition> = (0..weights.k())
+            .map(|k| FilterRepetition::measure(weights.filter(k)))
+            .collect();
+        let nonzero: Vec<f64> = per_filter
+            .iter()
+            .map(|f| f.mean_nonzero_repetition)
+            .collect();
+        let zero: Vec<f64> = per_filter.iter().map(|f| f.zero_count as f64).collect();
+        let mean_distinct = per_filter
+            .iter()
+            .map(|f| f.distinct_nonzero as f64)
+            .sum::<f64>()
+            / per_filter.len() as f64;
+        Self {
+            layer: layer.into(),
+            nonzero: MeanStd::of(&nonzero),
+            zero: MeanStd::of(&zero),
+            mean_distinct_nonzero: mean_distinct,
+            filter_size: weights.filter_size(),
+            filters: weights.k(),
+        }
+    }
+
+    /// Paper §III-A: multiplication savings from factorization equal the
+    /// average repetition ("average multiplication savings would be the
+    /// height of each bar" — 5× to 373× in Figure 3).
+    ///
+    /// Defined as dense multiplies per filter over post-factorization
+    /// multiplies (= distinct non-zero values per filter).
+    #[must_use]
+    pub fn multiply_savings(&self) -> f64 {
+        if self.mean_distinct_nonzero == 0.0 {
+            f64::INFINITY
+        } else {
+            self.filter_size as f64 / self.mean_distinct_nonzero
+        }
+    }
+}
+
+/// Measures the per-filter probability that two or more filters' activation
+/// groups overlap, i.e. the §III-B feasibility condition for activation
+/// group reuse: expected when `R·S·C > U^G`.
+///
+/// Returns the largest `G ∈ [1, max_g]` such that `filter_size > (U−1)^G`
+/// holds (using the non-zero alphabet, which is what the indirection tables
+/// track).
+#[must_use]
+pub fn feasible_group_size(filter_size: usize, unique_weights: usize, max_g: usize) -> usize {
+    let alphabet = unique_weights.saturating_sub(1).max(1);
+    let mut g = 1;
+    let mut pow = alphabet;
+    while g < max_g {
+        match pow.checked_mul(alphabet) {
+            Some(next) if filter_size > next => {
+                pow = next;
+                g += 1;
+            }
+            _ => break,
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{networks, QuantScheme, WeightGen};
+
+    #[test]
+    fn filter_repetition_counts_exactly() {
+        // weights: a a a b b 0 0 0 0 → zero=4, nonzero mean=(3+2)/2=2.5
+        let w = [7i16, 7, 7, -2, -2, 0, 0, 0, 0];
+        let rep = FilterRepetition::measure(&w);
+        assert_eq!(rep.zero_count, 4);
+        assert_eq!(rep.distinct_nonzero, 2);
+        assert!((rep.mean_nonzero_repetition - 2.5).abs() < 1e-12);
+        assert_eq!(rep.filter_size, 9);
+    }
+
+    #[test]
+    fn all_zero_filter_has_no_nonzero_repetition() {
+        let rep = FilterRepetition::measure(&[0i16; 8]);
+        assert_eq!(rep.zero_count, 8);
+        assert_eq!(rep.distinct_nonzero, 0);
+        assert_eq!(rep.mean_nonzero_repetition, 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let ms = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.std - 2.0).abs() < 1e-12);
+        assert_eq!(MeanStd::of(&[]), MeanStd::default());
+    }
+
+    #[test]
+    fn layer_repetition_matches_pigeonhole_expectation() {
+        // INQ on ResNet M3L2 (3×3×256 = 2304 weights, 16 non-zero values,
+        // 90% density): expect ≈ 2304·0.9/16 ≈ 130 repetitions per non-zero.
+        let net = networks::resnet50();
+        let layer = net.conv_layer("M3B2L2").unwrap();
+        let mut gen = WeightGen::new(QuantScheme::uniform_unique(17), 42).with_density(0.9);
+        let w = gen.generate(&layer);
+        let rep = LayerRepetition::measure("M3L2", &w);
+        assert!(
+            (100.0..160.0).contains(&rep.nonzero.mean),
+            "nonzero mean = {}",
+            rep.nonzero.mean
+        );
+        // Zero repetition ≈ 0.1·2304 ≈ 230.
+        assert!((180.0..280.0).contains(&rep.zero.mean), "zero mean = {}", rep.zero.mean);
+        // Multiplication savings = 2304/16 = 144.
+        assert!(
+            (120.0..160.0).contains(&rep.multiply_savings()),
+            "savings = {}",
+            rep.multiply_savings()
+        );
+    }
+
+    #[test]
+    fn repetition_grows_with_filter_size() {
+        let mut gen = WeightGen::new(QuantScheme::uniform_unique(17), 7).with_density(0.9);
+        let small = LayerRepetition::measure("s", &gen.generate_dims(4, 8, 3, 3));
+        let large = LayerRepetition::measure("l", &gen.generate_dims(4, 128, 3, 3));
+        assert!(large.nonzero.mean > 10.0 * small.nonzero.mean);
+    }
+
+    #[test]
+    fn feasible_group_size_matches_paper_examples() {
+        // §III-B: "(R,S,C) = (3,3,256) and U = 8, we expect overlaps up to
+        // G = 3": 2304 > 7^2=49 and 2304 > 7^3=343 but not > 7^4=2401.
+        assert_eq!(feasible_group_size(3 * 3 * 256, 8, 8), 3);
+        // INQ (U=17) on ResNet: G = 2..3 for most layers.
+        let g_inq = feasible_group_size(3 * 3 * 256, 17, 8);
+        assert!((2..=3).contains(&g_inq), "g={g_inq}");
+        // TTQ (U=3) satisfies G = 6..7 for majority of ResNet-50 layers.
+        let g_ttq = feasible_group_size(3 * 3 * 256, 3, 16);
+        assert!((6..=11).contains(&g_ttq), "g={g_ttq}");
+    }
+
+    #[test]
+    fn feasible_group_size_respects_max() {
+        assert_eq!(feasible_group_size(1 << 30, 3, 4), 4);
+        assert_eq!(feasible_group_size(4, 17, 8), 1);
+    }
+}

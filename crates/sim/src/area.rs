@@ -1,0 +1,226 @@
+//! PE area model (mm² at 32 nm) — the stand-in for the paper's RTL
+//! synthesis, reproducing Table III.
+//!
+//! The model is component-based: SRAM areas follow `a · bytes^0.51` with
+//! per-buffer-type constants, and logic areas are per-unit constants. The
+//! constants are fit to the paper's Table III data points (DCNN `VK = 2` and
+//! UCNN `G = 2, U = 17`, both 16-bit, 32 nm, 1 GHz), then *computed* — not
+//! copied — for every other configuration, so ablations (different `U`, `G`,
+//! `VW`) produce meaningful areas. Fit error on the published totals is
+//! under 7 %.
+
+use crate::config::{ArchConfig, ArchKind};
+
+/// SRAM capacity exponent (fit to the paper's input-buffer pair).
+const SRAM_EXP: f64 = 0.51;
+/// Input-buffer SRAM constant: 0.00135 mm² at 144 B (DCNN VK=2, Ct=8).
+const A_INPUT: f64 = 0.00135 / 12.652; // 144^0.51 ≈ 12.652
+/// Weight-buffer SRAM constant: 0.00384 mm² at 288 B (VK=2 × 72 × 2 B).
+const A_WEIGHT: f64 = 0.00384 / 17.945; // 288^0.51 ≈ 17.945
+/// Indirection-table SRAM constant: 0.00100 mm² at 232 B (Table II, U=17).
+const A_TABLE: f64 = 0.00100 / 16.114; // 232^0.51 ≈ 16.114
+/// Partial-sum buffer: fixed in both designs (same capacity/organization).
+const PSUM_AREA: f64 = 0.00577;
+/// One 16-bit multiplier.
+const MULT_AREA: f64 = 0.00045;
+/// One accumulator register + adder (the ①/②/③ units of Figure 6).
+const ACC_AREA: f64 = 0.00047;
+/// One dense MAC lane (multiplier + accumulate) for DCNN.
+const DCNN_LANE_AREA: f64 = 0.00060;
+/// Baseline PE control.
+const CONTROL_BASE: f64 = 0.00109;
+/// Extra control per UCNN filter lane (table walk, skip logic).
+const CONTROL_PER_G: f64 = 0.00031;
+
+/// Streaming table-buffer capacity per Table II: `|iiT| + |wiT| + |F|`
+/// bytes held at the PE for a given unique-weight budget.
+fn l1_table_bytes(u: usize) -> usize {
+    match u {
+        0..=8 => 129,
+        9..=32 => 232,
+        _ => 652,
+    }
+}
+
+/// Per-component PE area in mm², mirroring the rows of Table III.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeArea {
+    /// L1 input buffer.
+    pub input_buffer: f64,
+    /// Input/weight indirection tables (UCNN only; includes the unique
+    /// weight buffer `F`).
+    pub indirection_table: f64,
+    /// Dense weight buffer (DCNN only).
+    pub weight_buffer: f64,
+    /// Partial-sum buffer.
+    pub psum_buffer: f64,
+    /// Multipliers and accumulators.
+    pub arithmetic: f64,
+    /// Control logic.
+    pub control: f64,
+}
+
+impl PeArea {
+    /// Total PE area (mm²).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.input_buffer
+            + self.indirection_table
+            + self.weight_buffer
+            + self.psum_buffer
+            + self.arithmetic
+            + self.control
+    }
+
+    /// Relative overhead of `self` versus a baseline PE.
+    #[must_use]
+    pub fn overhead_vs(&self, base: &PeArea) -> f64 {
+        self.total() / base.total() - 1.0
+    }
+}
+
+fn sram_area(constant: f64, bytes: usize) -> f64 {
+    constant * (bytes.max(1) as f64).powf(SRAM_EXP)
+}
+
+/// Area of a DCNN/DCNN_sp PE with `vk` dense lanes at the given weight
+/// precision.
+#[must_use]
+pub fn dcnn_pe_area(vk: usize, weight_bits: u32, ct: usize, rs: usize) -> PeArea {
+    let bytes_per_weight = f64::from(weight_bits) / 8.0;
+    let weight_bytes = (vk as f64 * (ct * rs) as f64 * bytes_per_weight) as usize;
+    let input_bytes = ((ct * rs) as f64 * bytes_per_weight) as usize;
+    PeArea {
+        input_buffer: sram_area(A_INPUT, input_bytes),
+        indirection_table: 0.0,
+        weight_buffer: sram_area(A_WEIGHT, weight_bytes),
+        psum_buffer: PSUM_AREA,
+        arithmetic: vk as f64 * DCNN_LANE_AREA,
+        control: CONTROL_BASE,
+    }
+}
+
+/// Area of a UCNN PE with `g` filters per table, `vw` spatial lanes, and a
+/// `u`-entry unique-weight buffer.
+///
+/// The input buffer holds `Ct·S·(VW + R)` activations (§IV-D); the
+/// indirection storage holds one tile of `iiT`/`wiT` entries plus the `F`
+/// buffer of `u` weights. Arithmetic follows Figure 6: per lane one (4-bit
+/// wider) multiplier, the group accumulator ②, `G` output registers ① and
+/// `G − 1` sub-group registers ③.
+#[must_use]
+pub fn ucnn_pe_area(
+    g: usize,
+    vw: usize,
+    u: usize,
+    weight_bits: u32,
+    ct: usize,
+    r: usize,
+    s: usize,
+) -> PeArea {
+    let bytes_per_act = f64::from(weight_bits) / 8.0;
+    let input_bytes = (ct as f64 * s as f64 * (vw + r) as f64 * bytes_per_act) as usize;
+    let table_bytes = l1_table_bytes(u);
+    // Wider multiplier: one operand grows by log2(group cap) = 4 bits.
+    let mult = MULT_AREA * (f64::from(weight_bits + 4) / f64::from(weight_bits));
+    let arithmetic = vw as f64 * (mult + ACC_AREA * (1 + g + (g - 1)) as f64);
+    PeArea {
+        input_buffer: sram_area(A_INPUT, input_bytes),
+        indirection_table: sram_area(A_TABLE, table_bytes),
+        weight_buffer: 0.0,
+        psum_buffer: PSUM_AREA,
+        arithmetic,
+        control: CONTROL_BASE + CONTROL_PER_G * g as f64,
+    }
+}
+
+/// Area of a PE for an [`ArchConfig`] design point (per-PE; multiply by
+/// `config.pes` for the array).
+#[must_use]
+pub fn pe_area(config: &ArchConfig, u: usize) -> PeArea {
+    match config.kind {
+        ArchKind::Dcnn | ArchKind::DcnnSp => {
+            dcnn_pe_area(config.vk, config.weight_bits, config.ct, 9)
+        }
+        ArchKind::Ucnn => ucnn_pe_area(
+            config.g,
+            config.vw,
+            u,
+            config.weight_bits,
+            config.ct,
+            3,
+            3,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table III: DCNN `VK = 2` component areas (16-bit, Ct = 8, 3×3).
+    #[test]
+    fn table3_dcnn_vk2_components() {
+        let a = dcnn_pe_area(2, 16, 8, 9);
+        assert!((a.input_buffer - 0.00135).abs() < 0.0002, "{}", a.input_buffer);
+        assert!((a.weight_buffer - 0.00384).abs() < 0.0004, "{}", a.weight_buffer);
+        assert!((a.psum_buffer - 0.00577).abs() < 1e-9);
+        assert!((a.arithmetic - 0.00120).abs() < 0.0002);
+        assert!((a.control - 0.00109).abs() < 1e-9);
+        assert!((a.total() - 0.01325).abs() < 0.001, "total {}", a.total());
+    }
+
+    /// Table III: UCNN `G = 2, U = 17` adds ≈17 % over DCNN `VK = 2`.
+    #[test]
+    fn table3_ucnn_u17_overhead_about_17_percent() {
+        let dcnn = dcnn_pe_area(2, 16, 8, 9);
+        let ucnn = ucnn_pe_area(2, 1, 17, 16, 64, 3, 3);
+        let overhead = ucnn.overhead_vs(&dcnn);
+        assert!(
+            (0.10..=0.24).contains(&overhead),
+            "overhead = {overhead:.3} (paper: 0.17)"
+        );
+    }
+
+    /// §VI-E: provisioning for 256 weights raises overhead to ≈24 %.
+    #[test]
+    fn table3_ucnn_u256_overhead_about_24_percent() {
+        let dcnn = dcnn_pe_area(2, 16, 8, 9);
+        let ucnn = ucnn_pe_area(1, 2, 256, 16, 64, 3, 3);
+        let overhead = ucnn.overhead_vs(&dcnn);
+        assert!(
+            (0.17..=0.32).contains(&overhead),
+            "overhead = {overhead:.3} (paper: 0.24)"
+        );
+        // And it must exceed the U = 17 overhead.
+        let u17 = ucnn_pe_area(2, 1, 17, 16, 64, 3, 3);
+        assert!(ucnn.total() > u17.total());
+    }
+
+    #[test]
+    fn ucnn_trades_weight_buffer_for_tables() {
+        let ucnn = ucnn_pe_area(2, 1, 17, 16, 64, 3, 3);
+        assert_eq!(ucnn.weight_buffer, 0.0);
+        assert!(ucnn.indirection_table > 0.0);
+        let dcnn = dcnn_pe_area(2, 16, 8, 9);
+        assert_eq!(dcnn.indirection_table, 0.0);
+        assert!(dcnn.weight_buffer > 0.0);
+    }
+
+    #[test]
+    fn area_grows_with_vectorization() {
+        let narrow = ucnn_pe_area(2, 1, 17, 16, 64, 3, 3);
+        let wide = ucnn_pe_area(2, 4, 17, 16, 64, 3, 3);
+        assert!(wide.total() > narrow.total());
+        assert!(wide.input_buffer > narrow.input_buffer);
+        assert!(wide.arithmetic > narrow.arithmetic);
+    }
+
+    #[test]
+    fn pe_area_dispatches_on_kind() {
+        let d = pe_area(&ArchConfig::dcnn(16), 17);
+        assert!(d.weight_buffer > 0.0);
+        let u = pe_area(&ArchConfig::ucnn(17, 16), 17);
+        assert!(u.indirection_table > 0.0);
+    }
+}

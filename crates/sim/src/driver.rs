@@ -1,0 +1,218 @@
+//! Network-level experiment driver: generates per-layer weights once and
+//! runs them through any number of design points — the workhorse behind the
+//! Figure 9–12 sweeps.
+
+use ucnn_model::{ConvLayer, NetworkSpec, QuantScheme, WeightGen};
+use ucnn_tensor::Tensor4;
+
+use crate::chip::{sum_reports, LayerReport, Simulator};
+use crate::config::ArchConfig;
+
+/// A synthetic-workload specification: which quantization grid, at what
+/// weight density, against what input activation density.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Quantization scheme (defines `U` and the value distribution).
+    pub scheme: QuantScheme,
+    /// Fraction of non-zero weights.
+    pub weight_density: f64,
+    /// Fraction of non-zero input activations (paper: 0.35).
+    pub act_density: f64,
+    /// Base RNG seed; per-layer seeds derive deterministically.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// INQ-like default: `U = 17`, 90 % weight density, 35 % activations.
+    #[must_use]
+    pub fn inq(seed: u64) -> Self {
+        Self {
+            scheme: QuantScheme::inq(),
+            weight_density: 0.9,
+            act_density: 0.35,
+            seed,
+        }
+    }
+
+    /// Design-space workload: `uniform_unique(u)` at the given density
+    /// (the §VI-B methodology).
+    #[must_use]
+    pub fn uniform(u: usize, weight_density: f64, seed: u64) -> Self {
+        Self {
+            scheme: QuantScheme::uniform_unique(u),
+            weight_density,
+            act_density: 0.35,
+            seed,
+        }
+    }
+
+    /// Generates the weights for one layer (deterministic per layer index).
+    #[must_use]
+    pub fn weights_for(&self, layer: &ConvLayer, index: usize) -> Tensor4<i16> {
+        let mut gen = WeightGen::new(self.scheme.clone(), self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_density(self.weight_density);
+        gen.generate(layer)
+    }
+}
+
+/// Simulation results for one design point over a whole network.
+#[derive(Clone, Debug)]
+pub struct NetworkReport {
+    /// Design-point name.
+    pub arch: String,
+    /// Per-layer reports, in network order.
+    pub layers: Vec<LayerReport>,
+    /// Network totals.
+    pub total: LayerReport,
+}
+
+impl NetworkReport {
+    /// Total energy relative to `base`.
+    #[must_use]
+    pub fn energy_vs(&self, base: &NetworkReport) -> f64 {
+        self.total.energy.total_pj() / base.total.energy.total_pj()
+    }
+
+    /// Total cycles relative to `base`.
+    #[must_use]
+    pub fn runtime_vs(&self, base: &NetworkReport) -> f64 {
+        self.total.cycles / base.total.cycles
+    }
+}
+
+/// Runs every design over every weight-bearing layer of `net`, generating
+/// each layer's weights once. `sample_units` bounds the per-layer UCNN
+/// compile (use `usize::MAX` for exact).
+///
+/// Layers whose weight tensors would be enormous are still exact for the
+/// dense designs; UCNN plans extrapolate from the sampled filter groups.
+#[must_use]
+pub fn simulate_designs(
+    designs: &[ArchConfig],
+    net: &NetworkSpec,
+    spec: &WorkloadSpec,
+    sample_units: usize,
+) -> Vec<NetworkReport> {
+    let layers = net.conv_layers();
+    let mut per_design: Vec<Vec<LayerReport>> = vec![Vec::new(); designs.len()];
+    for (li, layer) in layers.iter().enumerate() {
+        let weights = spec.weights_for(layer, li);
+        for (di, design) in designs.iter().enumerate() {
+            let sim = Simulator::new(design.clone()).with_sampling(sample_units);
+            per_design[di].push(sim.simulate_layer(layer, &weights, spec.act_density));
+        }
+    }
+    designs
+        .iter()
+        .zip(per_design)
+        .map(|(design, layers)| {
+            let total = sum_reports(&design.name, &layers);
+            NetworkReport {
+                arch: design.name.clone(),
+                layers,
+                total,
+            }
+        })
+        .collect()
+}
+
+/// The optimistic runtime model of Figure 11: normalized UCNN runtime =
+/// stream entries over dense positions (no bubbles, stalls or imbalance),
+/// with weights drawn uniformly at `density`. `DCNN_sp` is the flat 1.0
+/// baseline.
+///
+/// Uses a representative 3×3×256 ResNet-style filter bank.
+#[must_use]
+pub fn optimistic_runtime_ratio(g: usize, density: f64, seed: u64) -> f64 {
+    use ucnn_core::compile::{compile_layer, UcnnConfig};
+    let mut gen = WeightGen::new(QuantScheme::uniform_unique(17), seed).with_density(density);
+    let weights = gen.generate_dims(16, 256, 3, 3);
+    let plan = compile_layer(&weights, &UcnnConfig::with_g(g));
+    // One stream serves G filters, so the per-filter entry cost is entries·G
+    // over the dense positions; with G·VW = 8 lanes this is exactly the
+    // runtime normalized to the 8-wide dense baseline.
+    (plan.totals().entries * g) as f64 / plan.dense_weights() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{evaluation_designs, ArchConfig};
+    use ucnn_model::networks;
+
+    #[test]
+    fn lenet_sweep_produces_one_report_per_design() {
+        let designs = evaluation_designs(16);
+        let reports = simulate_designs(
+            &designs,
+            &networks::lenet(),
+            &WorkloadSpec::uniform(17, 0.9, 42),
+            8,
+        );
+        assert_eq!(reports.len(), designs.len());
+        for r in &reports {
+            assert_eq!(r.layers.len(), 5);
+            assert!(r.total.energy.total_pj() > 0.0, "{}", r.arch);
+        }
+    }
+
+    #[test]
+    fn ucnn_energy_ordering_matches_paper() {
+        // Each UCNN Uxx runs on a workload quantized to U = xx (§VI-A);
+        // normalized against the DCNN baseline on the same workload, savings
+        // must order U3 > U17 > U256, all beating the dense baseline
+        // (16-bit, 50% density).
+        let net = networks::lenet();
+        let mut normalized = Vec::new();
+        for u in [3usize, 17, 256] {
+            let spec = WorkloadSpec::uniform(u, 0.5, 7);
+            let designs = vec![ArchConfig::dcnn(16), ArchConfig::ucnn(u, 16)];
+            let reports = simulate_designs(&designs, &net, &spec, 8);
+            normalized.push(reports[1].energy_vs(&reports[0]));
+        }
+        assert!(normalized[0] < normalized[1], "U3 {:.3} vs U17 {:.3}", normalized[0], normalized[1]);
+        assert!(normalized[1] < normalized[2], "U17 {:.3} vs U256 {:.3}", normalized[1], normalized[2]);
+        assert!(normalized[2] < 1.0, "U256 {:.3}", normalized[2]);
+    }
+
+    #[test]
+    fn figure11_shape_union_of_nonzeros() {
+        // G=1 tracks density linearly; larger G saturates toward 1.
+        let r_g1 = optimistic_runtime_ratio(1, 0.5, 1);
+        let r_g2 = optimistic_runtime_ratio(2, 0.5, 1);
+        let r_g4 = optimistic_runtime_ratio(4, 0.5, 1);
+        assert!((r_g1 - 0.5).abs() < 0.03, "G1 at d=0.5: {r_g1}");
+        assert!((r_g2 - 0.75).abs() < 0.04, "G2 at d=0.5: {r_g2}");
+        assert!((r_g4 - 0.94).abs() < 0.04, "G4 at d=0.5: {r_g4}");
+        assert!(r_g1 < r_g2 && r_g2 < r_g4);
+    }
+
+    #[test]
+    fn workload_weights_are_deterministic() {
+        let net = networks::tiny();
+        let layer = &net.conv_layers()[0];
+        let spec = WorkloadSpec::inq(9);
+        assert_eq!(spec.weights_for(layer, 0), spec.weights_for(layer, 0));
+        assert_ne!(spec.weights_for(layer, 0), spec.weights_for(layer, 1));
+    }
+
+    #[test]
+    fn g_tradeoff_energy_vs_runtime() {
+        // §VI-C: larger G saves energy (table compression) but costs
+        // runtime (union entries). Evaluated at U = 3 where G = 4 satisfies
+        // the §III-B feasibility condition R·S·C > U^G — at large U, deep
+        // grouping instead *inflates* tables with skip entries, which is
+        // why Table II pairs U17 with G = 2 and U3 with G = 4.
+        let net = networks::lenet();
+        let spec = WorkloadSpec::uniform(3, 0.5, 3);
+        let g1 = simulate_designs(&[ArchConfig::ucnn(3, 16).with_g(1)], &net, &spec, 8);
+        let g4 = simulate_designs(&[ArchConfig::ucnn(3, 16).with_g(4)], &net, &spec, 8);
+        assert!(
+            g4[0].total.model_bits < g1[0].total.model_bits,
+            "tables compress with G: {} vs {}",
+            g4[0].total.model_bits,
+            g1[0].total.model_bits
+        );
+        assert!(g4[0].total.cycles > g1[0].total.cycles, "union entries cost cycles");
+    }
+}

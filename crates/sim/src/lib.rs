@@ -1,0 +1,50 @@
+//! Accelerator-level cycle and energy model for the UCNN reproduction
+//! (paper §IV–§VI): the dense baseline PE (`DCNN`), the Eyeriss-style
+//! sparse baseline (`DCNN_sp`), and the UCNN PE with factorized dot
+//! products and activation-group reuse — plus the chip-level dataflow,
+//! DRAM/L2/NoC traffic, energy and area models.
+//!
+//! # Modules
+//!
+//! * [`config`] — the Table II design points ([`config::ArchConfig`]).
+//! * [`energy`] — per-event energies (Horowitz/CACTI-calibrated, 32 nm).
+//! * [`area`] — the Table III PE area model (RTL stand-in).
+//! * [`lane`] — cycle-accurate UCNN lane (Figure 6/7 datapath, with
+//!   dispatch-queue stalls and table bubbles).
+//! * [`banking`] — the §IV-D conflict-free banked input buffer
+//!   (Equations 3/4).
+//! * [`chip`] — per-layer simulation ([`chip::Simulator`]).
+//! * [`driver`] — network-level sweeps ([`driver::simulate_designs`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucnn_model::{networks, QuantScheme, WeightGen};
+//! use ucnn_sim::chip::Simulator;
+//! use ucnn_sim::config::ArchConfig;
+//!
+//! let net = networks::lenet();
+//! let layer = net.conv_layer("conv2").unwrap();
+//! let mut gen = WeightGen::new(QuantScheme::inq(), 1).with_density(0.9);
+//! let weights = gen.generate(&layer);
+//!
+//! let baseline = Simulator::new(ArchConfig::dcnn_sp(16)).simulate_layer(&layer, &weights, 0.35);
+//! let ucnn = Simulator::new(ArchConfig::ucnn(17, 16)).simulate_layer(&layer, &weights, 0.35);
+//! assert!(ucnn.energy.total_pj() < baseline.energy.total_pj());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod banking;
+pub mod chip;
+pub mod config;
+pub mod driver;
+pub mod energy;
+pub mod lane;
+
+pub use chip::{LayerReport, Simulator};
+pub use config::{evaluation_designs, ArchConfig, ArchKind};
+pub use driver::{simulate_designs, NetworkReport, WorkloadSpec};
+pub use energy::{EnergyBreakdown, EnergyModel};

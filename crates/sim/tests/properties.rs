@@ -1,0 +1,138 @@
+//! Property-based tests for the simulator: the cycle-accurate lane must be
+//! arithmetically exact for arbitrary streams, stalls must be monotone in
+//! provisioning, and the chip model must respond monotonically to workload
+//! knobs.
+
+use proptest::prelude::*;
+
+use ucnn_model::{networks, QuantScheme, WeightGen};
+use ucnn_sim::banking::BankedInputBuffer;
+use ucnn_sim::chip::Simulator;
+use ucnn_sim::config::ArchConfig;
+use ucnn_sim::lane::{run_lane, LaneConfig};
+use ucnn_core::hierarchy::GroupStream;
+
+fn lcg_weights(seed: u64, len: usize, g: usize, alphabet: i16) -> Vec<Vec<i16>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i16).rem_euclid(alphabet) - alphabet / 2
+    };
+    (0..g).map(|_| (0..len).map(|_| next()).collect()).collect()
+}
+
+proptest! {
+    /// The lane's outputs equal dense dot products for any stream, any lane
+    /// provisioning, any activations — chunking and stalling never change
+    /// arithmetic.
+    #[test]
+    fn lane_outputs_always_exact(
+        seed in any::<u64>(),
+        g in 1usize..=3,
+        len in 4usize..80,
+        cap in 2usize..20,
+        depth in 0usize..4,
+    ) {
+        let filters = lcg_weights(seed, len, g, 7);
+        prop_assume!(filters.iter().any(|f| f.iter().any(|&w| w != 0)));
+        let refs: Vec<&[i16]> = filters.iter().map(Vec::as_slice).collect();
+        let stream = GroupStream::build(&refs);
+        let acts: Vec<i16> = (0..len).map(|i| ((i * 13 + 5) % 97) as i16 - 48).collect();
+        let trace = run_lane(
+            &stream,
+            &acts,
+            &LaneConfig {
+                group_cap: cap,
+                mult_throughput: 1,
+                queue_depth: depth,
+            },
+        );
+        for (fi, f) in filters.iter().enumerate() {
+            let dense: i32 = f.iter().zip(&acts).map(|(&w, &x)| i32::from(w) * i32::from(x)).sum();
+            prop_assert_eq!(trace.outputs[fi], dense, "filter {}", fi);
+        }
+        // Cycles are at least the entry count and stalls are the excess.
+        prop_assert_eq!(trace.cycles, trace.data_cycles + trace.stall_cycles);
+        prop_assert_eq!(trace.data_cycles as usize, stream.entry_count());
+    }
+
+    /// More multiplier throughput or deeper queues never increase cycles.
+    #[test]
+    fn lane_cycles_monotone_in_provisioning(seed in any::<u64>(), len in 8usize..64) {
+        let filters = lcg_weights(seed, len, 2, 5);
+        prop_assume!(filters.iter().any(|f| f.iter().any(|&w| w != 0)));
+        let refs: Vec<&[i16]> = filters.iter().map(Vec::as_slice).collect();
+        let stream = GroupStream::build(&refs);
+        let acts = vec![1i16; len];
+        let cycles = |depth: usize, thr: usize| {
+            run_lane(
+                &stream,
+                &acts,
+                &LaneConfig {
+                    group_cap: 16,
+                    mult_throughput: thr,
+                    queue_depth: depth,
+                },
+            )
+            .cycles
+        };
+        prop_assert!(cycles(1, 1) <= cycles(0, 1));
+        prop_assert!(cycles(4, 1) <= cycles(1, 1));
+        prop_assert!(cycles(0, 2) <= cycles(0, 1));
+    }
+
+    /// Banking (Equations 3/4) is conflict-free for every geometry.
+    #[test]
+    fn banking_conflict_free(r in 1usize..8, s in 1usize..6, ct in 1usize..32, vw in 1usize..8) {
+        let buf = BankedInputBuffer::new(r, s, ct, vw);
+        for ri in 0..r {
+            for si in 0..s {
+                for ci in 0..ct {
+                    let mut banks: Vec<usize> = (0..vw).map(|v| buf.bank(ri, si, ci, v)).collect();
+                    banks.sort_unstable();
+                    banks.dedup();
+                    prop_assert_eq!(banks.len(), vw);
+                }
+            }
+        }
+        prop_assert!(buf.storage_overhead() < 0.5);
+    }
+
+    /// Chip model: UCNN energy decreases (weakly) as weight density falls —
+    /// fewer table entries, fewer DRAM bits, fewer adds.
+    #[test]
+    fn ucnn_energy_monotone_in_density(seed in 0u64..1000) {
+        let net = networks::tiny();
+        let layer = &net.conv_layers()[1];
+        let sim = Simulator::new(ArchConfig::ucnn(17, 16));
+        let mut last = f64::INFINITY;
+        for density in [0.9, 0.6, 0.3] {
+            let mut gen = WeightGen::new(QuantScheme::uniform_unique(17), seed).with_density(density);
+            let w = gen.generate(layer);
+            let e = sim.simulate_layer(layer, &w, 0.35).energy.total_pj();
+            prop_assert!(e <= last * 1.02, "density {density}: {e} vs {last}");
+            last = e;
+        }
+    }
+
+    /// Chip model: every design's report is self-consistent (positive,
+    /// finite, components sum to the total).
+    #[test]
+    fn reports_are_well_formed(seed in 0u64..500, density in 0.2f64..1.0) {
+        let net = networks::tiny();
+        let layer = &net.conv_layers()[0];
+        let mut gen = WeightGen::new(QuantScheme::inq(), seed).with_density(density);
+        let w = gen.generate(layer);
+        for design in ucnn_sim::config::evaluation_designs(16) {
+            let r = Simulator::new(design.clone()).simulate_layer(layer, &w, 0.35);
+            prop_assert!(r.cycles > 0.0 && r.cycles.is_finite(), "{}", design.name);
+            prop_assert!(r.ideal_cycles <= r.cycles * 1.0001, "{}", design.name);
+            let total = r.energy.total_pj();
+            prop_assert!(total.is_finite() && total > 0.0, "{}", design.name);
+            let sum = r.energy.dram_pj + r.energy.l2_noc_pj + r.energy.pe_pj;
+            prop_assert!((sum - total).abs() < 1e-9 * total.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Dense tensor and convolution-geometry substrate for the UCNN reproduction.
+//!
+//! The UCNN paper ([Hegde et al., ISCA 2018]) works on convolutional layers with
+//! 3-D inputs (`W × H × C`), `K` 4-D filters (`R × S × C`), and 3-D outputs.
+//! This crate provides exactly the containers and shape arithmetic the rest of
+//! the reproduction needs:
+//!
+//! * [`Tensor3`] — channel-major activations, indexed `(c, x, y)`,
+//! * [`Tensor4`] — filter banks, indexed `(k, c, r, s)`,
+//! * [`ConvGeom`] — per-layer geometry (spatial size, channels, filter size,
+//!   stride, padding) with all derived counts (output size, MACs, …).
+//!
+//! Everything is plain, dependency-free Rust. Tensors are row-major over their
+//! index tuples, so iteration order is deterministic and matches the loop nests
+//! written out in the paper's Equation (1) and Figure 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+//!
+//! // A 3×3×64→64 ResNet-style layer on a 14×14 input.
+//! let geom = ConvGeom::new(14, 14, 64, 64, 3, 3).with_pad(1);
+//! assert_eq!(geom.out_w(), 14);
+//! assert_eq!(geom.macs(), 14 * 14 * 64 * 3 * 3 * 64);
+//!
+//! let input = Tensor3::<i16>::zeros(geom.c(), geom.in_w(), geom.in_h());
+//! let filters = Tensor4::<i16>::zeros(geom.k(), geom.c(), geom.r(), geom.s());
+//! assert_eq!(input.len(), 64 * 14 * 14);
+//! assert_eq!(filters.len(), 64 * 64 * 3 * 3);
+//! ```
+//!
+//! [Hegde et al., ISCA 2018]: https://arxiv.org/abs/1804.06508
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geom;
+mod tensor3;
+mod tensor4;
+
+pub use geom::{ConvGeom, GeomError};
+pub use tensor3::Tensor3;
+pub use tensor4::Tensor4;
+
+/// Numeric element types storable in the tensors of this crate.
+///
+/// The trait is sealed: it is implemented for the fixed-point container types
+/// used by the reproduction (`i8`, `i16`, `i32`, …) and for `f32`/`f64` (used
+/// by statistics code), and cannot be implemented downstream.
+pub trait Elem: Copy + Default + PartialEq + core::fmt::Debug + private::Sealed {
+    /// `true` when the element equals the additive zero.
+    fn is_zero(&self) -> bool;
+}
+
+macro_rules! impl_elem {
+    ($($t:ty => $zero:expr),* $(,)?) => {
+        $(
+            impl Elem for $t {
+                #[inline]
+                fn is_zero(&self) -> bool {
+                    *self == $zero
+                }
+            }
+            impl private::Sealed for $t {}
+        )*
+    };
+}
+
+impl_elem! {
+    i8 => 0,
+    i16 => 0,
+    i32 => 0,
+    i64 => 0,
+    u8 => 0,
+    u16 => 0,
+    u32 => 0,
+    usize => 0,
+    f32 => 0.0,
+    f64 => 0.0,
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_zero_detection() {
+        assert!(0i16.is_zero());
+        assert!(!3i16.is_zero());
+        assert!(0.0f64.is_zero());
+        assert!(!(-1.5f64).is_zero());
+    }
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor3<i16>>();
+        assert_send_sync::<Tensor4<i16>>();
+        assert_send_sync::<ConvGeom>();
+        assert_send_sync::<GeomError>();
+    }
+}

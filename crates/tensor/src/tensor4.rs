@@ -1,0 +1,340 @@
+//! 4-D filter-bank tensor, indexed `(k, c, r, s)`.
+
+use crate::Elem;
+
+/// A dense 4-D tensor holding a bank of `K` filters, indexed
+/// `(filter, channel, r, s)` — the `F[(k, c, r, s)]` of Equation (1).
+///
+/// Storage is row-major over `(k, c, r, s)`: the `s` index varies fastest, and
+/// the `R·S·C` weights of one filter are contiguous, in the same flattened
+/// order that UCNN's indirection tables address (`(c, r, s)` with `s`
+/// fastest — see [`Tensor4::filter`]).
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_tensor::Tensor4;
+///
+/// let mut f = Tensor4::<i16>::zeros(2, 3, 3, 3);
+/// f[(1, 2, 0, 1)] = -4;
+/// assert_eq!(f[(1, 2, 0, 1)], -4);
+/// assert_eq!(f.filter(1).len(), 27);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tensor4<T> {
+    k: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    data: Vec<T>,
+}
+
+impl<T: Elem> Tensor4<T> {
+    /// Creates a `(k, c, r, s)` tensor filled with `T::default()` (zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the total size overflows `usize`.
+    #[must_use]
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
+        assert!(
+            k > 0 && c > 0 && r > 0 && s > 0,
+            "Tensor4 dims must be positive"
+        );
+        let len = k
+            .checked_mul(c)
+            .and_then(|n| n.checked_mul(r))
+            .and_then(|n| n.checked_mul(s))
+            .expect("Tensor4 size overflow");
+        Self {
+            k,
+            c,
+            r,
+            s,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Builds a tensor from a closure evaluated at every `(k, c, r, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn from_fn(
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut t = Self::zeros(k, c, r, s);
+        for ki in 0..k {
+            for ci in 0..c {
+                for ri in 0..r {
+                    for si in 0..s {
+                        t[(ki, ci, ri, si)] = f(ki, ci, ri, si);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a tensor taking ownership of `data`, row-major over
+    /// `(k, c, r, s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the data back if `data.len() != k·c·r·s` or a dimension is
+    /// zero.
+    pub fn from_vec(k: usize, c: usize, r: usize, s: usize, data: Vec<T>) -> Result<Self, Vec<T>> {
+        if k == 0 || c == 0 || r == 0 || s == 0 || data.len() != k * c * r * s {
+            return Err(data);
+        }
+        Ok(Self { k, c, r, s, data })
+    }
+
+    /// Filter count `K`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Channel count `C`.
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Filter width `R`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Filter height `S`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Per-filter weight count `R·S·C`.
+    #[must_use]
+    pub fn filter_size(&self) -> usize {
+        self.c * self.r * self.s
+    }
+
+    /// Total element count `K·C·R·S`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: tensors have positive dimensions by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn offset(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        ((k * self.c + c) * self.r + r) * self.s + s
+    }
+
+    /// Bounds-checked element access.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, k: usize, c: usize, r: usize, s: usize) -> Option<&T> {
+        if k < self.k && c < self.c && r < self.r && s < self.s {
+            self.data.get(self.offset(k, c, r, s))
+        } else {
+            None
+        }
+    }
+
+    /// The contiguous `R·S·C` weights of filter `k`, flattened over
+    /// `(c, r, s)` with `s` fastest.
+    ///
+    /// This flattening order is the canonical "filter offset" addressing used
+    /// by the UCNN input indirection tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn filter(&self, k: usize) -> &[T] {
+        assert!(k < self.k, "filter index {k} out of bounds ({})", self.k);
+        let size = self.filter_size();
+        &self.data[k * size..(k + 1) * size]
+    }
+
+    /// Immutable view of the backing storage (row-major over `(k, c, r, s)`).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over `((k, c, r, s), value)` pairs in storage order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = ((usize, usize, usize, usize), T)> + '_ {
+        let (c, r, s) = (self.c, self.r, self.s);
+        self.data.iter().enumerate().map(move |(i, &v)| {
+            let si = i % s;
+            let ri = (i / s) % r;
+            let ci = (i / (s * r)) % c;
+            let ki = i / (s * r * c);
+            ((ki, ci, ri, si), v)
+        })
+    }
+
+    /// Fraction of non-zero weights (the paper's "weight density").
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let nonzero = self.data.iter().filter(|v| !v.is_zero()).count();
+        nonzero as f64 / self.data.len() as f64
+    }
+
+    /// Converts a flattened filter offset back to `(c, r, s)` coordinates.
+    ///
+    /// Inverse of the flattening used by [`Tensor4::filter`]:
+    /// `offset = (c·R + r)·S + s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= R·S·C`.
+    #[must_use]
+    pub fn unflatten_offset(&self, offset: usize) -> (usize, usize, usize) {
+        assert!(
+            offset < self.filter_size(),
+            "offset {offset} out of bounds ({})",
+            self.filter_size()
+        );
+        let s = offset % self.s;
+        let r = (offset / self.s) % self.r;
+        let c = offset / (self.s * self.r);
+        (c, r, s)
+    }
+}
+
+impl<T: Elem> core::ops::Index<(usize, usize, usize, usize)> for Tensor4<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (k, c, r, s): (usize, usize, usize, usize)) -> &T {
+        assert!(
+            k < self.k && c < self.c && r < self.r && s < self.s,
+            "Tensor4 index ({k},{c},{r},{s}) out of bounds ({},{},{},{})",
+            self.k,
+            self.c,
+            self.r,
+            self.s
+        );
+        &self.data[self.offset(k, c, r, s)]
+    }
+}
+
+impl<T: Elem> core::ops::IndexMut<(usize, usize, usize, usize)> for Tensor4<T> {
+    #[inline]
+    fn index_mut(&mut self, (k, c, r, s): (usize, usize, usize, usize)) -> &mut T {
+        assert!(
+            k < self.k && c < self.c && r < self.r && s < self.s,
+            "Tensor4 index ({k},{c},{r},{s}) out of bounds ({},{},{},{})",
+            self.k,
+            self.c,
+            self.r,
+            self.s
+        );
+        let off = self.offset(k, c, r, s);
+        &mut self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indexing() {
+        let t = Tensor4::<i32>::from_fn(2, 3, 2, 2, |k, c, r, s| {
+            (k * 1000 + c * 100 + r * 10 + s) as i32
+        });
+        for k in 0..2 {
+            for c in 0..3 {
+                for r in 0..2 {
+                    for s in 0..2 {
+                        assert_eq!(t[(k, c, r, s)], (k * 1000 + c * 100 + r * 10 + s) as i32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_slice_is_contiguous_crs() {
+        let t = Tensor4::<i32>::from_fn(2, 2, 2, 2, |k, c, r, s| {
+            (k * 1000 + c * 100 + r * 10 + s) as i32
+        });
+        let f1 = t.filter(1);
+        assert_eq!(f1.len(), 8);
+        // (c,r,s) with s fastest:
+        assert_eq!(f1[0], 1000);
+        assert_eq!(f1[1], 1001);
+        assert_eq!(f1[2], 1010);
+        assert_eq!(f1[4], 1100);
+    }
+
+    #[test]
+    fn unflatten_offset_inverts_flattening() {
+        let t = Tensor4::<i16>::zeros(1, 3, 2, 4);
+        for c in 0..3 {
+            for r in 0..2 {
+                for s in 0..4 {
+                    let off = (c * 2 + r) * 4 + s;
+                    assert_eq!(t.unflatten_offset(off), (c, r, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_iter_matches_indexing() {
+        let t = Tensor4::<i16>::from_fn(2, 2, 3, 2, |k, c, r, s| (k + 3 * c + 5 * r + 11 * s) as i16);
+        for ((k, c, r, s), v) in t.indexed_iter() {
+            assert_eq!(v, t[(k, c, r, s)]);
+        }
+        assert_eq!(t.indexed_iter().count(), t.len());
+    }
+
+    #[test]
+    fn density_counts_nonzero() {
+        let mut t = Tensor4::<i16>::zeros(1, 1, 2, 2);
+        t[(0, 0, 0, 0)] = 1;
+        t[(0, 0, 1, 1)] = -2;
+        assert!((t.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Tensor4::from_vec(1, 1, 2, 2, vec![1i16, 2, 3, 4]).is_ok());
+        assert!(Tensor4::from_vec(1, 1, 2, 2, vec![1i16]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn filter_out_of_bounds_panics() {
+        let t = Tensor4::<i16>::zeros(1, 1, 1, 1);
+        let _ = t.filter(1);
+    }
+}

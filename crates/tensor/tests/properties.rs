@@ -1,0 +1,81 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+
+proptest! {
+    /// Output dims are always consistent with sliding-window counting.
+    #[test]
+    fn conv_geom_output_dims_match_naive_count(
+        w in 1usize..64, h in 1usize..64,
+        r in 1usize..8, s in 1usize..8,
+        stride in 1usize..4, pad in 0usize..4,
+    ) {
+        prop_assume!(r <= w + 2 * pad && s <= h + 2 * pad);
+        let g = ConvGeom::validated(w, h, 4, 2, r, s, stride, pad).unwrap();
+        // Count valid filter positions directly.
+        let mut count_w = 0usize;
+        let mut x = 0usize;
+        while x + r <= w + 2 * pad {
+            count_w += 1;
+            x += stride;
+        }
+        let mut count_h = 0usize;
+        let mut y = 0usize;
+        while y + s <= h + 2 * pad {
+            count_h += 1;
+            y += stride;
+        }
+        prop_assert_eq!(g.out_w(), count_w);
+        prop_assert_eq!(g.out_h(), count_h);
+    }
+
+    /// `indexed_iter` visits each coordinate exactly once, in storage order.
+    #[test]
+    fn tensor3_indexed_iter_visits_all(c in 1usize..5, w in 1usize..6, h in 1usize..6) {
+        let t = Tensor3::<i32>::from_fn(c, w, h, |ci, x, y| (ci * 1_000 + x * 100 + y) as i32);
+        let coords: Vec<_> = t.indexed_iter().map(|(idx, _)| idx).collect();
+        prop_assert_eq!(coords.len(), c * w * h);
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), c * w * h);
+        for ((ci, x, y), v) in t.indexed_iter() {
+            prop_assert_eq!(v, t[(ci, x, y)]);
+        }
+    }
+
+    /// Flatten/unflatten of filter offsets round-trips.
+    #[test]
+    fn tensor4_offset_roundtrip(c in 1usize..6, r in 1usize..5, s in 1usize..5, off_seed in 0usize..10_000) {
+        let t = Tensor4::<i16>::zeros(1, c, r, s);
+        let off = off_seed % t.filter_size();
+        let (ci, ri, si) = t.unflatten_offset(off);
+        prop_assert_eq!((ci * r + ri) * s + si, off);
+    }
+
+    /// Density is the exact non-zero fraction.
+    #[test]
+    fn tensor4_density_exact(mask in proptest::collection::vec(any::<bool>(), 1..128)) {
+        let n = mask.len();
+        let data: Vec<i16> = mask.iter().map(|&m| if m { 3 } else { 0 }).collect();
+        let t = Tensor4::from_vec(1, 1, 1, n, data).unwrap();
+        let expected = mask.iter().filter(|&&m| m).count() as f64 / n as f64;
+        prop_assert!((t.density() - expected).abs() < 1e-12);
+    }
+
+    /// Padded access agrees with plain access inside bounds and is zero outside.
+    #[test]
+    fn tensor3_padded_access(c in 1usize..4, w in 1usize..6, h in 1usize..6,
+                             x in -2isize..8, y in -2isize..8) {
+        let t = Tensor3::<i16>::from_fn(c, w, h, |ci, xi, yi| (ci + xi + yi + 1) as i16);
+        for ci in 0..c {
+            let v = t.at_padded(ci, x, y);
+            if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+                prop_assert_eq!(v, t[(ci, x as usize, y as usize)]);
+            } else {
+                prop_assert_eq!(v, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end accelerator simulation: run a full network through the DCNN,
+//! DCNN_sp and UCNN design points and print the per-layer and total
+//! energy/cycle picture — the paper's headline experiment (Figure 9) as a
+//! library call.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_sim [lenet|alexnet|resnet50]
+//! ```
+
+use ucnn::model::networks;
+use ucnn::sim::{evaluation_designs, simulate_designs, WorkloadSpec};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "lenet".to_string());
+    let net = match which.as_str() {
+        "alexnet" => networks::alexnet(),
+        "resnet50" => networks::resnet50(),
+        _ => networks::lenet(),
+    };
+    println!("network: {} ({} weight-bearing layers, {:.1} MMACs)", net.name(),
+        net.conv_layers().len(), net.total_macs() as f64 / 1e6);
+
+    // Each UCNN Uxx design runs a workload quantized to U = xx (as in the
+    // paper's §VI-A); the dense baselines run the U = 17 workload — their
+    // energy only depends on density. 90% weight / 35% activation density.
+    let sample = 16; // filter groups compiled per layer (extrapolated)
+    let spec_for = |u: usize| WorkloadSpec::uniform(u, 0.9, 0xACC);
+    let baselines = simulate_designs(
+        &evaluation_designs(16)[..2], // DCNN, DCNN_sp
+        &net,
+        &spec_for(17),
+        sample,
+    );
+    let dcnn = baselines[0].clone();
+    let mut reports = baselines;
+    for u in [3usize, 17, 64, 256] {
+        let r = simulate_designs(&[ucnn::sim::ArchConfig::ucnn(u, 16)], &net, &spec_for(u), sample);
+        reports.extend(r);
+    }
+
+    println!("\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "design", "DRAM", "L2+NoC", "PE", "total", "cycles(norm)");
+    for rep in &reports {
+        let n = rep.total.energy.normalized_to(&dcnn.total.energy);
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+            rep.arch,
+            n.dram_pj,
+            n.l2_noc_pj,
+            n.pe_pj,
+            n.total_pj(),
+            rep.total.cycles / dcnn.total.cycles,
+        );
+    }
+
+    // Per-layer view for the most energy-hungry design comparison.
+    let ucnn = reports
+        .iter()
+        .find(|r| r.arch == "UCNN U17")
+        .expect("UCNN U17 present");
+    println!("\nper-layer energy savings, UCNN U17 vs DCNN_sp:");
+    let sp = &reports[1];
+    for (u_layer, sp_layer) in ucnn.layers.iter().zip(&sp.layers) {
+        println!(
+            "  {:<10} {:>6.2}x",
+            u_layer.layer,
+            sp_layer.energy.total_pj() / u_layer.energy.total_pj()
+        );
+    }
+}

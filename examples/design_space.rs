@@ -1,0 +1,98 @@
+//! Design-space exploration: sweep the UCNN-specific knobs — `G` (filters
+//! per shared table), the activation-group cap, and the table encoding —
+//! and chart the resulting energy/runtime/area trade-offs. This exercises
+//! the ablation axes called out in DESIGN.md §6.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use ucnn::core::compile::{compile_layer, UcnnConfig};
+use ucnn::core::encoding::{EncodingParams, IitEncoding};
+use ucnn::model::{networks, QuantScheme, WeightGen};
+use ucnn::sim::area::{dcnn_pe_area, ucnn_pe_area};
+use ucnn::sim::{ArchConfig, simulate_designs, WorkloadSpec};
+
+fn main() {
+    let net = networks::lenet();
+
+    // --- G sweep on a ternary (U = 3) model -------------------------------
+    println!("G sweep (U = 3 ternary model, 50% density):");
+    println!("{:<4} {:>12} {:>12} {:>12}", "G", "energy(x)", "cycles(x)", "bits/weight");
+    let spec = WorkloadSpec::uniform(3, 0.5, 11);
+    let base = simulate_designs(&[ArchConfig::ucnn(3, 16).with_g(1)], &net, &spec, 8);
+    let total_weights: usize = net
+        .conv_layers()
+        .iter()
+        .map(|l| l.total_weight_count())
+        .sum();
+    for g in [1usize, 2, 4, 8] {
+        let r = simulate_designs(&[ArchConfig::ucnn(3, 16).with_g(g)], &net, &spec, 8);
+        println!(
+            "{:<4} {:>12.3} {:>12.3} {:>12.2}",
+            g,
+            r[0].energy_vs(&base[0]),
+            r[0].runtime_vs(&base[0]),
+            r[0].total.model_bits / total_weights as f64,
+        );
+    }
+
+    // --- Group-cap sweep ---------------------------------------------------
+    println!("\nactivation-group cap sweep (INQ weights, 3x3x64 filter bank):");
+    println!("{:<6} {:>14} {:>16}", "cap", "mult savings", "multiplier bits");
+    let mut gen = WeightGen::new(QuantScheme::inq(), 12).with_density(0.9);
+    let w = gen.generate_dims(8, 64, 3, 3);
+    for cap in [4usize, 8, 16, 32, 576] {
+        let cfg = UcnnConfig {
+            group_cap: cap,
+            ..UcnnConfig::with_g(1)
+        };
+        let plan = compile_layer(&w, &cfg);
+        println!(
+            "{:<6} {:>13.1}x {:>13} +{}",
+            cap,
+            plan.dense_weights() as f64 / plan.totals().multiplies as f64,
+            16,
+            (cap as f64).log2().ceil() as u32,
+        );
+    }
+
+    // --- Encoding sweep ----------------------------------------------------
+    println!("\ntable encoding (INQ weights): bits/weight and walk bubbles:");
+    let ptr_plan = compile_layer(&w, &UcnnConfig::with_g(1));
+    println!(
+        "{:<10} {:>12.2} {:>10}",
+        "pointer",
+        ptr_plan.bits_per_weight(),
+        ptr_plan.totals().bubbles
+    );
+    for bits in [6u8, 8, 10] {
+        let cfg = UcnnConfig {
+            encoding: EncodingParams {
+                iit: IitEncoding::Jump { bits },
+                ..EncodingParams::default()
+            },
+            ..UcnnConfig::with_g(1)
+        };
+        let plan = compile_layer(&w, &cfg);
+        println!(
+            "{:<10} {:>12.2} {:>10}",
+            format!("jump{bits}"),
+            plan.bits_per_weight(),
+            plan.totals().bubbles
+        );
+    }
+
+    // --- Area --------------------------------------------------------------
+    println!("\nPE area (mm^2, 32nm):");
+    let dcnn = dcnn_pe_area(2, 16, 8, 9);
+    println!("  DCNN VK=2          : {:.5}", dcnn.total());
+    for (g, vw, u) in [(2usize, 1usize, 17usize), (1, 2, 256), (4, 1, 3)] {
+        let a = ucnn_pe_area(g, vw, u, 16, 64, 3, 3);
+        println!(
+            "  UCNN G={g} VW={vw} U={u:<4}: {:.5} (+{:.1}%)",
+            a.total(),
+            a.overhead_vs(&dcnn) * 100.0
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Model-compression explorer: how UCNN's shared indirection tables stack
+//! up against run-length encoding and the TTQ/INQ storage formats across
+//! weight densities — the scenario behind the paper's Figure 13, on a real
+//! ResNet-50 layer shape.
+//!
+//! ```sh
+//! cargo run --release --example model_compression
+//! ```
+
+use ucnn::core::compile::{compile_layer, UcnnConfig};
+use ucnn::core::encoding::rle_bits_capped;
+use ucnn::model::{networks, QuantScheme, WeightGen};
+
+fn main() {
+    let net = networks::resnet50();
+    let layer = net.conv_layer("M3B2L2").expect("ResNet M3L2 exists");
+    println!("layer: {} ({})", layer.name(), layer.geom());
+    println!("\n density | UCNN G=1 | UCNN G=2 | UCNN G=4 | RLE 8b | TTQ | INQ  (bits/weight)");
+
+    for step in [2usize, 3, 5, 7, 9, 10] {
+        let density = step as f64 / 10.0;
+        // G = 1/2 on INQ-like (U = 17) weights, G = 4 on TTQ-like (U = 3):
+        // each G in the regime where the paper deploys it (Table II).
+        let bits = |u: usize, g: usize| -> f64 {
+            let mut gen = WeightGen::new(QuantScheme::uniform_unique(u), 7).with_density(density);
+            // Sample 16 filters of the layer's filter shape — bits/weight is
+            // a per-filter property.
+            let w = gen.generate_dims(16, layer.geom().c(), layer.geom().r(), layer.geom().s());
+            compile_layer(&w, &UcnnConfig::with_g(g)).bits_per_weight()
+        };
+        let mut gen = WeightGen::new(QuantScheme::uniform_unique(17), 7).with_density(density);
+        let w = gen.generate_dims(16, layer.geom().c(), layer.geom().r(), layer.geom().s());
+        let rle = rle_bits_capped(w.as_slice(), 8, 5) as f64 / w.len() as f64;
+        println!(
+            "    {density:.1}  |   {:5.2}  |   {:5.2}  |   {:5.2}  | {rle:5.2}  | 2.0 | 5.0",
+            bits(17, 1),
+            bits(17, 2),
+            bits(3, 4),
+        );
+    }
+
+    println!("\nReading the table:");
+    println!(" * UCNN G=2 compresses INQ-like models toward INQ's own 5 b/weight");
+    println!("   while additionally enabling on-chip computation reuse.");
+    println!(" * UCNN G=4 on ternary models approaches TTQ's 2-bit format.");
+    println!(" * Plain RLE only wins at very low density; at 90% density it");
+    println!("   stores nearly the raw 8 bits per weight.");
+}
