@@ -37,7 +37,9 @@ fn bench_fig9_energy(c: &mut Criterion) {
 fn bench_fig10_layer_breakdown(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_layer_breakdown");
     g.sample_size(10);
-    g.bench_function("resnet_3x3_layers", |b| b.iter(|| black_box(exp::fig10(true))));
+    g.bench_function("resnet_3x3_layers", |b| {
+        b.iter(|| black_box(exp::fig10(true)))
+    });
     g.finish();
 }
 

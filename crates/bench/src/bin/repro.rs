@@ -3,8 +3,8 @@
 //! ```text
 //! repro <experiment>... [--quick] [--out DIR]
 //!
-//! experiments: fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14 table3
-//!              ablations all
+//! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
+//!              table3 ablations all
 //! ```
 //!
 //! `--quick` shrinks networks/sweeps (used by CI and Criterion); the default
@@ -18,7 +18,17 @@ use ucnn_bench::experiments;
 use ucnn_bench::TableOut;
 
 const ALL: &[&str] = &[
-    "fig1", "fig3", "table2", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+    "fig1",
+    "fig3",
+    "table2",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table3",
     "ablations",
 ];
 

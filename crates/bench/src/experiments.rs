@@ -48,9 +48,7 @@ pub fn fig1() -> TableOut {
 
     let standard = conv2d(&geom, 1, &in_t, &filt);
     let fact = FilterFactorization::build(&[a, b, a]);
-    let factored: Vec<i32> = (0..n_out)
-        .map(|x| fact.dot(&input[x..x + 3]))
-        .collect();
+    let factored: Vec<i32> = (0..n_out).map(|x| fact.dot(&input[x..x + 3])).collect();
     let (memo_out, memo_report) = partial_product::memoized_conv(&geom, &in_t, &filt);
     assert_eq!(standard.as_slice(), factored.as_slice());
     assert_eq!(standard, memo_out);
@@ -101,8 +99,7 @@ pub fn fig3(quick: bool) -> TableOut {
             let layer = net
                 .conv_layer(name)
                 .unwrap_or_else(|| panic!("{name} missing"));
-            let mut gen =
-                WeightGen::new(QuantScheme::inq(), SEED ^ li as u64).with_density(0.9);
+            let mut gen = WeightGen::new(QuantScheme::inq(), SEED ^ li as u64).with_density(0.9);
             let weights = gen.generate(&layer);
             let rep = LayerRepetition::measure(name.clone(), &weights);
             t.push_row(vec![
@@ -200,7 +197,14 @@ pub fn fig9(quick: bool) -> TableOut {
     let mut t = TableOut::new(
         "Figure 9: energy normalized to DCNN (components sum to the total)",
         &[
-            "net", "bits", "density", "arch", "dram", "l2_noc", "pe", "total",
+            "net",
+            "bits",
+            "density",
+            "arch",
+            "dram",
+            "l2_noc",
+            "pe",
+            "total",
             "x_vs_dcnn_sp",
         ],
     );
@@ -218,8 +222,7 @@ pub fn fig9(quick: bool) -> TableOut {
                 let sp = &base[1];
                 let mut push = |arch: &str, rep: &ucnn_sim::NetworkReport| {
                     let n = rep.total.energy.normalized_to(&dcnn.total.energy);
-                    let vs_sp =
-                        sp.total.energy.total_pj() / rep.total.energy.total_pj();
+                    let vs_sp = sp.total.energy.total_pj() / rep.total.energy.total_pj();
                     t.push_row(vec![
                         net.name().to_string(),
                         bits.to_string(),
@@ -344,13 +347,12 @@ pub fn fig12(quick: bool) -> TableOut {
         let base_cycles = reports[0].total.cycles;
         for (i, rep) in reports.iter().enumerate() {
             let runtime = rep.total.cycles / base_cycles;
-            let ideal = rep
-                .layers
-                .iter()
-                .map(|l| l.ideal_cycles)
-                .sum::<f64>()
-                / base_cycles;
-            let overhead = if ideal > 0.0 { runtime / ideal - 1.0 } else { 0.0 };
+            let ideal = rep.layers.iter().map(|l| l.ideal_cycles).sum::<f64>() / base_cycles;
+            let overhead = if ideal > 0.0 {
+                runtime / ideal - 1.0
+            } else {
+                0.0
+            };
             t.push_row(vec![
                 net.name().to_string(),
                 names[i].to_string(),
@@ -385,14 +387,21 @@ pub fn fig13(quick: bool) -> TableOut {
     let k = if quick { 8 } else { 32 };
     let mut t = TableOut::new(
         "Figure 13: model size (bits/weight) vs weight density",
-        &["density", "UCNN G=1", "UCNN G=2", "UCNN G=4", "DCNN_sp 8b", "TTQ", "INQ"],
+        &[
+            "density",
+            "UCNN G=1",
+            "UCNN G=2",
+            "UCNN G=4",
+            "DCNN_sp 8b",
+            "TTQ",
+            "INQ",
+        ],
     );
     for step in 1..=10 {
         let d = step as f64 / 10.0;
         // G=1/2 on U=17 weights, G=4 on U=3 (its feasible regime).
         let bpw = |u: usize, g: usize| -> f64 {
-            let mut gen =
-                WeightGen::new(QuantScheme::uniform_unique(u), SEED).with_density(d);
+            let mut gen = WeightGen::new(QuantScheme::uniform_unique(u), SEED).with_density(d);
             let w = gen.generate_dims(k, 256, 3, 3);
             compile_layer(&w, &UcnnConfig::with_g(g)).bits_per_weight()
         };
@@ -463,17 +472,38 @@ pub fn table3() -> TableOut {
     let u256 = ucnn_pe_area(1, 2, 256, 16, 64, 3, 3);
     let mut t = TableOut::new(
         "Table III: PE area breakdown (mm^2, 32nm)",
-        &["component", "DCNN (VK=2)", "UCNN (G=2,U=17)", "UCNN (U=256)"],
+        &[
+            "component",
+            "DCNN (VK=2)",
+            "UCNN (G=2,U=17)",
+            "UCNN (U=256)",
+        ],
     );
     let rows: Vec<(&str, [f64; 3])> = vec![
-        ("Input buffer", [dcnn.input_buffer, u17.input_buffer, u256.input_buffer]),
+        (
+            "Input buffer",
+            [dcnn.input_buffer, u17.input_buffer, u256.input_buffer],
+        ),
         (
             "Indirection table",
-            [dcnn.indirection_table, u17.indirection_table, u256.indirection_table],
+            [
+                dcnn.indirection_table,
+                u17.indirection_table,
+                u256.indirection_table,
+            ],
         ),
-        ("Weight buffer", [dcnn.weight_buffer, u17.weight_buffer, u256.weight_buffer]),
-        ("Partial sum buffer", [dcnn.psum_buffer, u17.psum_buffer, u256.psum_buffer]),
-        ("Arithmetic", [dcnn.arithmetic, u17.arithmetic, u256.arithmetic]),
+        (
+            "Weight buffer",
+            [dcnn.weight_buffer, u17.weight_buffer, u256.weight_buffer],
+        ),
+        (
+            "Partial sum buffer",
+            [dcnn.psum_buffer, u17.psum_buffer, u256.psum_buffer],
+        ),
+        (
+            "Arithmetic",
+            [dcnn.arithmetic, u17.arithmetic, u256.arithmetic],
+        ),
         ("Control logic", [dcnn.control, u17.control, u256.control]),
         ("Total", [dcnn.total(), u17.total(), u256.total()]),
     ];
@@ -536,7 +566,12 @@ pub fn ablate_group_cap(quick: bool) -> TableOut {
     let weights = gen.generate_dims(k, 256, 3, 3);
     let mut t = TableOut::new(
         "Ablation: activation-group size cap (TTQ weights, 3x3x256)",
-        &["cap", "mult_reduction_x", "extra_operand_bits", "stall_cycles"],
+        &[
+            "cap",
+            "mult_reduction_x",
+            "extra_operand_bits",
+            "stall_cycles",
+        ],
     );
     for cap in [4usize, 8, 16, 32, 64, 4096] {
         let cfg = UcnnConfig {
@@ -600,7 +635,15 @@ pub fn ablate_multipliers() -> TableOut {
         "Ablation: multiplier provisioning (G=2 lane on INQ weights)",
         &["queue_depth", "mult_throughput", "cycles", "stall_cycles"],
     );
-    for &(depth, thr) in &[(0usize, 1usize), (1, 1), (2, 1), (4, 1), (8, 1), (0, 2), (2, 2)] {
+    for &(depth, thr) in &[
+        (0usize, 1usize),
+        (1, 1),
+        (2, 1),
+        (4, 1),
+        (8, 1),
+        (0, 2),
+        (2, 2),
+    ] {
         let trace = run_lane(
             &stream,
             &acts,
@@ -640,7 +683,7 @@ mod tests {
     fn fig3_quick_has_lenet_rows() {
         let t = fig3(true);
         assert_eq!(t.rows.len(), 3); // conv1..conv3
-        // Repetition must be >1 everywhere (pigeonhole).
+                                     // Repetition must be >1 everywhere (pigeonhole).
         for row in &t.rows {
             assert!(row[2].parse::<f64>().unwrap() > 1.0, "{row:?}");
         }

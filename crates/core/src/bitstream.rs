@@ -382,7 +382,14 @@ mod tests {
     #[test]
     fn bitwriter_reader_agree_on_mixed_widths() {
         let mut w = BitWriter::new();
-        let fields = [(5u32, 3u32), (0, 1), (1023, 10), (1, 1), (65535, 16), (0, 7)];
+        let fields = [
+            (5u32, 3u32),
+            (0, 1),
+            (1023, 10),
+            (1, 1),
+            (65535, 16),
+            (0, 7),
+        ];
         for &(v, width) in &fields {
             w.push(v, width);
         }
@@ -391,7 +398,7 @@ mod tests {
         for &(v, width) in &fields {
             assert_eq!(r.read(width).unwrap(), v);
         }
-        assert!(r.read(64 * 8) .is_err());
+        assert!(r.read(64 * 8).is_err());
     }
 
     #[test]

@@ -537,12 +537,7 @@ mod tests {
     #[test]
     fn canonical_of_tensor_matches_btree() {
         let w = checker_weights(3, 5, 7);
-        let mut expect: Vec<i16> = w
-            .as_slice()
-            .iter()
-            .copied()
-            .filter(|&v| v != 0)
-            .collect();
+        let mut expect: Vec<i16> = w.as_slice().iter().copied().filter(|&v| v != 0).collect();
         expect.sort_unstable();
         expect.dedup();
         assert_eq!(canonical_of_tensor(&w), expect);

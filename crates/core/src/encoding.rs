@@ -302,7 +302,10 @@ mod tests {
         let g1b = table_cost(&GroupStream::build(&[&w2]), &params());
         let per_weight_g2 = g2.table_bits as f64 / 1152.0;
         let per_weight_g1 = (g1a.table_bits + g1b.table_bits) as f64 / 1152.0;
-        assert!(per_weight_g2 < 0.62 * per_weight_g1, "{per_weight_g2} vs {per_weight_g1}");
+        assert!(
+            per_weight_g2 < 0.62 * per_weight_g1,
+            "{per_weight_g2} vs {per_weight_g1}"
+        );
     }
 
     #[test]

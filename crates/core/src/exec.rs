@@ -49,7 +49,10 @@ pub fn factorized_conv(
 ) -> Tensor3<i32> {
     assert_eq!(input.c(), geom.c() * conv_groups, "input channel mismatch");
     assert_eq!(filters.k(), geom.k(), "filter count mismatch");
-    assert!(conv_groups > 0 && geom.k() % conv_groups == 0, "bad group count");
+    assert!(
+        conv_groups > 0 && geom.k() % conv_groups == 0,
+        "bad group count"
+    );
 
     let (out_w, out_h) = (geom.out_w(), geom.out_h());
     let (r_dim, s_dim, c_dim) = (geom.r(), geom.s(), geom.c());
@@ -76,8 +79,17 @@ pub fn factorized_conv(
                     .collect();
                 let stream = GroupStream::build_with_canonical(&slices, &canonical);
                 accumulate_tile(
-                    &stream, input, &mut out, k_base + k0, c_base + c0, rs, s_dim, stride, pad,
-                    out_w, out_h,
+                    &stream,
+                    input,
+                    &mut out,
+                    k_base + k0,
+                    c_base + c0,
+                    rs,
+                    s_dim,
+                    stride,
+                    pad,
+                    out_w,
+                    out_h,
                 );
                 c0 = c1;
             }
@@ -171,7 +183,10 @@ pub fn verified_conv(
 ) -> Tensor3<i32> {
     let fast = factorized_conv(geom, conv_groups, input, filters, config);
     let slow = reference::conv2d(geom, conv_groups, input, filters);
-    assert_eq!(fast, slow, "factorized executor diverged from dense reference");
+    assert_eq!(
+        fast, slow,
+        "factorized executor diverged from dense reference"
+    );
     fast
 }
 
@@ -180,7 +195,15 @@ mod tests {
     use super::*;
     use ucnn_model::{networks, ActivationGen, QuantScheme, WeightGen};
 
-    fn run_case(geom: ConvGeom, conv_groups: usize, scheme: QuantScheme, density: f64, g: usize, ct: usize, seed: u64) {
+    fn run_case(
+        geom: ConvGeom,
+        conv_groups: usize,
+        scheme: QuantScheme,
+        density: f64,
+        g: usize,
+        ct: usize,
+        seed: u64,
+    ) {
         let mut wgen = WeightGen::new(scheme, seed).with_density(density);
         let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
         let mut agen = ActivationGen::new(seed ^ 0xFFFF).with_density(0.35);
@@ -195,17 +218,41 @@ mod tests {
 
     #[test]
     fn matches_reference_g1() {
-        run_case(ConvGeom::new(8, 8, 6, 4, 3, 3), 1, QuantScheme::inq(), 0.9, 1, 64, 1);
+        run_case(
+            ConvGeom::new(8, 8, 6, 4, 3, 3),
+            1,
+            QuantScheme::inq(),
+            0.9,
+            1,
+            64,
+            1,
+        );
     }
 
     #[test]
     fn matches_reference_g2_with_channel_tiling() {
-        run_case(ConvGeom::new(8, 8, 10, 4, 3, 3), 1, QuantScheme::inq(), 0.65, 2, 4, 2);
+        run_case(
+            ConvGeom::new(8, 8, 10, 4, 3, 3),
+            1,
+            QuantScheme::inq(),
+            0.65,
+            2,
+            4,
+            2,
+        );
     }
 
     #[test]
     fn matches_reference_g4_ttq() {
-        run_case(ConvGeom::new(6, 6, 8, 8, 3, 3), 1, QuantScheme::ttq(), 0.5, 4, 8, 3);
+        run_case(
+            ConvGeom::new(6, 6, 8, 8, 3, 3),
+            1,
+            QuantScheme::ttq(),
+            0.5,
+            4,
+            8,
+            3,
+        );
     }
 
     #[test]
@@ -235,12 +282,28 @@ mod tests {
 
     #[test]
     fn matches_reference_fully_dense() {
-        run_case(ConvGeom::new(6, 6, 4, 4, 3, 3), 1, QuantScheme::uniform_unique(5), 1.0, 2, 2, 8);
+        run_case(
+            ConvGeom::new(6, 6, 4, 4, 3, 3),
+            1,
+            QuantScheme::uniform_unique(5),
+            1.0,
+            2,
+            2,
+            8,
+        );
     }
 
     #[test]
     fn matches_reference_very_sparse() {
-        run_case(ConvGeom::new(6, 6, 4, 4, 3, 3), 1, QuantScheme::uniform_unique(17), 0.1, 2, 4, 9);
+        run_case(
+            ConvGeom::new(6, 6, 4, 4, 3, 3),
+            1,
+            QuantScheme::uniform_unique(17),
+            0.1,
+            2,
+            4,
+            9,
+        );
     }
 
     #[test]
@@ -252,7 +315,15 @@ mod tests {
                 continue;
             }
             for g in [1usize, 2, 3] {
-                run_case(geom, layer.groups(), QuantScheme::inq(), 0.9, g, 8, 10 + g as u64);
+                run_case(
+                    geom,
+                    layer.groups(),
+                    QuantScheme::inq(),
+                    0.9,
+                    g,
+                    8,
+                    10 + g as u64,
+                );
             }
         }
     }

@@ -239,7 +239,10 @@ mod tests {
             f.dot(&[x, y, z]),
             i32::from(a) * (i32::from(x) + i32::from(z)) + i32::from(b) * i32::from(y)
         );
-        assert_eq!(f.dot(&[x, y, z]), FilterFactorization::dense_dot(&[a, b, a], &[x, y, z]));
+        assert_eq!(
+            f.dot(&[x, y, z]),
+            FilterFactorization::dense_dot(&[a, b, a], &[x, y, z])
+        );
     }
 
     #[test]
@@ -305,14 +308,20 @@ mod tests {
         // Deterministic pseudo-random check over many shapes.
         let mut state = 0x1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 17) as i16 - 8
         };
         for len in [1usize, 2, 3, 9, 27, 100, 576] {
             let w: Vec<i16> = (0..len).map(|_| next()).collect();
             let a: Vec<i16> = (0..len).map(|_| next() * 3).collect();
             let f = FilterFactorization::build(&w);
-            assert_eq!(f.dot(&a), FilterFactorization::dense_dot(&w, &a), "len={len}");
+            assert_eq!(
+                f.dot(&a),
+                FilterFactorization::dense_dot(&w, &a),
+                "len={len}"
+            );
             assert!(f.multiplies() <= len.min(16));
             assert_eq!(f.entry_count() + f.zero_count(), len);
         }

@@ -6,10 +6,9 @@
 //! weights to non-zero values via a uniform distribution", §VI-B), and
 //! activations are drawn at the paper's 35 % average input density.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use ucnn_tensor::{Tensor3, Tensor4};
+
+use crate::rng::SmallRng;
 
 use crate::{ConvLayer, QuantScheme};
 
@@ -90,10 +89,10 @@ impl WeightGen {
         let density = self.density;
         let rng = &mut self.rng;
         Tensor4::from_fn(k, c, r, s, |_, _, _, _| {
-            if rng.gen::<f64>() >= density {
+            if rng.gen_f64() >= density {
                 0
             } else {
-                let u: f64 = rng.gen();
+                let u: f64 = rng.gen_f64();
                 // Binary search the CDF for the sampled value.
                 let idx = cdf.partition_point(|&p| p < u).min(values.len() - 1);
                 values[idx]
@@ -177,10 +176,10 @@ impl ActivationGen {
         let max_value = self.max_value;
         let rng = &mut self.rng;
         Tensor3::from_fn(c, w, h, |_, _, _| {
-            if rng.gen::<f64>() >= density {
+            if rng.gen_f64() >= density {
                 0
             } else {
-                rng.gen_range(1..=max_value)
+                rng.gen_range_i16(1, max_value)
             }
         })
     }

@@ -86,7 +86,11 @@ impl LayerSpec {
 
     /// Creates a fully connected layer spec.
     #[must_use]
-    pub fn fully_connected(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
+    pub fn fully_connected(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
         Self {
             name: name.into(),
             kind: LayerKind::FullyConnected {

@@ -39,6 +39,7 @@ mod layer;
 pub mod networks;
 mod quant;
 pub mod reference;
+pub mod rng;
 pub mod stats;
 
 pub use gen::{ActivationGen, WeightGen};

@@ -92,7 +92,9 @@ pub fn resnet50() -> NetworkSpec {
     let mut net = NetworkSpec::new("ResNet-50");
     net.push(LayerSpec::conv(
         "conv1",
-        ConvGeom::new(224, 224, 3, 64, 7, 7).with_stride(2).with_pad(3),
+        ConvGeom::new(224, 224, 3, 64, 7, 7)
+            .with_stride(2)
+            .with_pad(3),
     ));
     net.push(LayerSpec::pool("pool1", PoolKind::Max, 3, 2));
 
@@ -269,10 +271,7 @@ mod tests {
         // AlexNet has ~60.9M parameters, dominated by the FC layers.
         let net = alexnet();
         let total = net.total_weights();
-        assert!(
-            (58_000_000..64_000_000).contains(&total),
-            "total={total}"
-        );
+        assert!((58_000_000..64_000_000).contains(&total), "total={total}");
     }
 
     #[test]
@@ -282,10 +281,7 @@ mod tests {
         assert_eq!(net.conv_layers().len(), 54);
         let total = net.total_weights();
         // ResNet-50 has ~25.5M parameters.
-        assert!(
-            (23_000_000..27_000_000).contains(&total),
-            "total={total}"
-        );
+        assert!((23_000_000..27_000_000).contains(&total), "total={total}");
     }
 
     #[test]
@@ -293,7 +289,10 @@ mod tests {
         let net = resnet50();
         let macs = net.total_macs();
         // ~3.8 GMACs for 224×224 inference.
-        assert!((3_000_000_000..4_800_000_000).contains(&macs), "macs={macs}");
+        assert!(
+            (3_000_000_000..4_800_000_000).contains(&macs),
+            "macs={macs}"
+        );
     }
 
     #[test]
@@ -301,7 +300,9 @@ mod tests {
         let net = resnet50();
         let expected = [(64, 64, 56), (128, 128, 28), (256, 256, 14), (512, 512, 7)];
         for (name, (c, k, sp)) in figure10_layers().iter().zip(expected) {
-            let layer = net.conv_layer(name).unwrap_or_else(|| panic!("{name} missing"));
+            let layer = net
+                .conv_layer(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(layer.geom().c(), c, "{name}");
             assert_eq!(layer.geom().k(), k, "{name}");
             assert_eq!(layer.geom().in_w(), sp, "{name}");
@@ -326,12 +327,15 @@ mod tests {
     fn vgg16_shapes_and_totals() {
         let net = vgg16();
         assert_eq!(net.conv_layers().len(), 16); // 13 convs + 3 FCs
-        // ~138M parameters, dominated by fc6.
+                                                 // ~138M parameters, dominated by fc6.
         let total = net.total_weights();
         assert!((130_000_000..145_000_000).contains(&total), "total={total}");
         // ~15.3 GMACs for 224×224 inference.
         let macs = net.total_macs();
-        assert!((14_000_000_000..16_500_000_000).contains(&macs), "macs={macs}");
+        assert!(
+            (14_000_000_000..16_500_000_000).contains(&macs),
+            "macs={macs}"
+        );
         let c53 = net.conv_layer("conv5_3").unwrap();
         assert_eq!(c53.geom().c(), 512);
         assert_eq!(c53.geom().out_w(), 14);

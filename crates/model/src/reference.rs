@@ -46,10 +46,16 @@ pub fn conv2d(
     filters: &Tensor4<i16>,
 ) -> Tensor3<i32> {
     assert_eq!(input.c(), geom.c() * groups, "input channel mismatch");
-    assert!(input.w() == geom.in_w() && input.h() == geom.in_h(), "input plane mismatch");
+    assert!(
+        input.w() == geom.in_w() && input.h() == geom.in_h(),
+        "input plane mismatch"
+    );
     assert_eq!(filters.k(), geom.k(), "filter count mismatch");
     assert_eq!(filters.c(), geom.c(), "filter channel mismatch");
-    assert!(filters.r() == geom.r() && filters.s() == geom.s(), "filter plane mismatch");
+    assert!(
+        filters.r() == geom.r() && filters.s() == geom.s(),
+        "filter plane mismatch"
+    );
     assert!(groups > 0 && geom.k() % groups == 0, "bad group count");
 
     let (out_w, out_h) = (geom.out_w(), geom.out_h());
@@ -158,11 +164,7 @@ pub fn pool2d(input: &Tensor3<i16>, kind: PoolKind, size: usize, stride: usize) 
 /// Panics if `weights.c() != input.len()`.
 #[must_use]
 pub fn fully_connected(input: &Tensor3<i16>, weights: &Tensor4<i16>) -> Vec<i32> {
-    assert_eq!(
-        weights.c(),
-        input.len(),
-        "fc weight in_features mismatch"
-    );
+    assert_eq!(weights.c(), input.len(), "fc weight in_features mismatch");
     let x = input.as_slice();
     (0..weights.k())
         .map(|k| {

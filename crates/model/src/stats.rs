@@ -216,7 +216,11 @@ mod tests {
             rep.nonzero.mean
         );
         // Zero repetition ≈ 0.1·2304 ≈ 230.
-        assert!((180.0..280.0).contains(&rep.zero.mean), "zero mean = {}", rep.zero.mean);
+        assert!(
+            (180.0..280.0).contains(&rep.zero.mean),
+            "zero mean = {}",
+            rep.zero.mean
+        );
         // Multiplication savings = 2304/16 = 144.
         assert!(
             (120.0..160.0).contains(&rep.multiply_savings()),

@@ -142,15 +142,7 @@ pub fn pe_area(config: &ArchConfig, u: usize) -> PeArea {
         ArchKind::Dcnn | ArchKind::DcnnSp => {
             dcnn_pe_area(config.vk, config.weight_bits, config.ct, 9)
         }
-        ArchKind::Ucnn => ucnn_pe_area(
-            config.g,
-            config.vw,
-            u,
-            config.weight_bits,
-            config.ct,
-            3,
-            3,
-        ),
+        ArchKind::Ucnn => ucnn_pe_area(config.g, config.vw, u, config.weight_bits, config.ct, 3, 3),
     }
 }
 
@@ -162,8 +154,16 @@ mod tests {
     #[test]
     fn table3_dcnn_vk2_components() {
         let a = dcnn_pe_area(2, 16, 8, 9);
-        assert!((a.input_buffer - 0.00135).abs() < 0.0002, "{}", a.input_buffer);
-        assert!((a.weight_buffer - 0.00384).abs() < 0.0004, "{}", a.weight_buffer);
+        assert!(
+            (a.input_buffer - 0.00135).abs() < 0.0002,
+            "{}",
+            a.input_buffer
+        );
+        assert!(
+            (a.weight_buffer - 0.00384).abs() < 0.0004,
+            "{}",
+            a.weight_buffer
+        );
         assert!((a.psum_buffer - 0.00577).abs() < 1e-9);
         assert!((a.arithmetic - 0.00120).abs() < 0.0002);
         assert!((a.control - 0.00109).abs() < 1e-9);

@@ -42,7 +42,10 @@ impl BankedInputBuffer {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(r: usize, s: usize, ct: usize, vw: usize) -> Self {
-        assert!(r > 0 && s > 0 && ct > 0 && vw > 0, "parameters must be positive");
+        assert!(
+            r > 0 && s > 0 && ct > 0 && vw > 0,
+            "parameters must be positive"
+        );
         Self { r, s, ct, vw }
     }
 
@@ -124,8 +127,7 @@ mod tests {
             for r in 0..3 {
                 for s in 0..3 {
                     for c in 0..16 {
-                        let banks: HashSet<usize> =
-                            (0..vw).map(|v| buf.bank(r, s, c, v)).collect();
+                        let banks: HashSet<usize> = (0..vw).map(|v| buf.bank(r, s, c, v)).collect();
                         assert_eq!(banks.len(), vw, "collision at ({r},{s},{c}) vw={vw}");
                     }
                 }

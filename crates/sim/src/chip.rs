@@ -179,8 +179,8 @@ impl Simulator {
         let l2_input_read_bits = input_bits * halo * k_chunks;
         let l2_output_write_bits = output_bits;
 
-        let dram_act_bits = if input_fits { 0.0 } else { input_bits }
-            + if output_fits { 0.0 } else { output_bits };
+        let dram_act_bits =
+            if input_fits { 0.0 } else { input_bits } + if output_fits { 0.0 } else { output_bits };
 
         Traffic {
             l2_weight_read_bits,
@@ -191,7 +191,13 @@ impl Simulator {
     }
 
     /// Folds traffic and PE events into the Figure 9 energy breakdown.
-    fn energy_of(&self, t: &Traffic, pe: &PeEvents, dram_weight_bits: f64, cycles: f64) -> EnergyBreakdown {
+    fn energy_of(
+        &self,
+        t: &Traffic,
+        pe: &PeEvents,
+        dram_weight_bits: f64,
+        cycles: f64,
+    ) -> EnergyBreakdown {
         let a = &self.arch;
         let e = &self.energy;
 
@@ -467,11 +473,14 @@ mod tests {
         let sp = Simulator::new(ArchConfig::dcnn_sp(16)).simulate_layer(&layer, &w, 0.35);
         assert_eq!(sp.cycles, dcnn.cycles, "zero gating saves no cycles");
         assert!(sp.energy.total_pj() < dcnn.energy.total_pj());
-        assert!(sp.dram_weight_bits < dcnn.dram_weight_bits, "RLE compression");
+        assert!(
+            sp.dram_weight_bits < dcnn.dram_weight_bits,
+            "RLE compression"
+        );
     }
 
     #[test]
-    fn ucnn_beats_dcnn_sp_at_16bit(){
+    fn ucnn_beats_dcnn_sp_at_16bit() {
         let (layer, w) = lenet_conv3_weights(17, 0.9, 3);
         let sp = Simulator::new(ArchConfig::dcnn_sp(16)).simulate_layer(&layer, &w, 0.35);
         let ucnn = Simulator::new(ArchConfig::ucnn(17, 16)).simulate_layer(&layer, &w, 0.35);
@@ -497,10 +506,17 @@ mod tests {
     #[test]
     fn all_designs_produce_finite_positive_energy() {
         let (layer, w) = lenet_conv3_weights(17, 0.65, 5);
-        for design in evaluation_designs(16).into_iter().chain(evaluation_designs(8)) {
+        for design in evaluation_designs(16)
+            .into_iter()
+            .chain(evaluation_designs(8))
+        {
             let r = Simulator::new(design.clone()).simulate_layer(&layer, &w, 0.35);
             assert!(r.cycles > 0.0, "{}", design.name);
-            assert!(r.energy.total_pj().is_finite() && r.energy.total_pj() > 0.0, "{}", design.name);
+            assert!(
+                r.energy.total_pj().is_finite() && r.energy.total_pj() > 0.0,
+                "{}",
+                design.name
+            );
             assert!(r.energy.dram_pj > 0.0, "{}", design.name);
         }
     }
@@ -533,8 +549,7 @@ mod tests {
         let conv1 = net.conv_layer("conv1").unwrap();
         let mut wgen = WeightGen::new(QuantScheme::inq(), 8).with_density(0.9);
         let w = wgen.generate(&conv1);
-        let r = Simulator::new(ArchConfig::dcnn(16))
-            .simulate_layer(&conv1, &w, 0.35);
+        let r = Simulator::new(ArchConfig::dcnn(16)).simulate_layer(&conv1, &w, 0.35);
         assert!(r.dram_act_bits > 0.0);
         // LeNet conv3 (8×8×32) fits easily.
         let (l3, w3) = lenet_conv3_weights(17, 0.9, 9);

@@ -129,7 +129,10 @@ impl ArchConfig {
     /// Panics unless `g ∈ {1, 2, 4, 8}`.
     #[must_use]
     pub fn with_g(mut self, g: usize) -> Self {
-        assert!(matches!(g, 1 | 2 | 4 | 8), "G must divide the 8-wide budget");
+        assert!(
+            matches!(g, 1 | 2 | 4 | 8),
+            "G must divide the 8-wide budget"
+        );
         self.g = g;
         self.vw = 8 / g;
         self

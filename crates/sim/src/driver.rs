@@ -49,8 +49,11 @@ impl WorkloadSpec {
     /// Generates the weights for one layer (deterministic per layer index).
     #[must_use]
     pub fn weights_for(&self, layer: &ConvLayer, index: usize) -> Tensor4<i16> {
-        let mut gen = WeightGen::new(self.scheme.clone(), self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .with_density(self.weight_density);
+        let mut gen = WeightGen::new(
+            self.scheme.clone(),
+            self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+        .with_density(self.weight_density);
         gen.generate(layer)
     }
 }
@@ -170,8 +173,18 @@ mod tests {
             let reports = simulate_designs(&designs, &net, &spec, 8);
             normalized.push(reports[1].energy_vs(&reports[0]));
         }
-        assert!(normalized[0] < normalized[1], "U3 {:.3} vs U17 {:.3}", normalized[0], normalized[1]);
-        assert!(normalized[1] < normalized[2], "U17 {:.3} vs U256 {:.3}", normalized[1], normalized[2]);
+        assert!(
+            normalized[0] < normalized[1],
+            "U3 {:.3} vs U17 {:.3}",
+            normalized[0],
+            normalized[1]
+        );
+        assert!(
+            normalized[1] < normalized[2],
+            "U17 {:.3} vs U256 {:.3}",
+            normalized[1],
+            normalized[2]
+        );
         assert!(normalized[2] < 1.0, "U256 {:.3}", normalized[2]);
     }
 
@@ -213,6 +226,9 @@ mod tests {
             g4[0].total.model_bits,
             g1[0].total.model_bits
         );
-        assert!(g4[0].total.cycles > g1[0].total.cycles, "union entries cost cycles");
+        assert!(
+            g4[0].total.cycles > g1[0].total.cycles,
+            "union entries cost cycles"
+        );
     }
 }

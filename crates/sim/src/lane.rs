@@ -69,7 +69,10 @@ pub struct LaneTrace {
 #[must_use]
 pub fn run_lane(stream: &GroupStream, activations: &[i16], config: &LaneConfig) -> LaneTrace {
     assert!(config.group_cap > 0, "group cap must be positive");
-    assert!(config.mult_throughput > 0, "multiplier throughput must be positive");
+    assert!(
+        config.mult_throughput > 0,
+        "multiplier throughput must be positive"
+    );
     assert_eq!(
         activations.len(),
         stream.tile_len(),
@@ -201,7 +204,10 @@ mod tests {
     use ucnn_core::hierarchy::GroupStream;
 
     fn dense(f: &[i16], a: &[i16]) -> i32 {
-        f.iter().zip(a).map(|(&w, &x)| i32::from(w) * i32::from(x)).sum()
+        f.iter()
+            .zip(a)
+            .map(|(&w, &x)| i32::from(w) * i32::from(x))
+            .sum()
     }
 
     /// Figure 7 in cycles: 8 entries; 6 multiplies; with a 0-deep queue the

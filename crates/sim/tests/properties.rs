@@ -5,12 +5,12 @@
 
 use proptest::prelude::*;
 
+use ucnn_core::hierarchy::GroupStream;
 use ucnn_model::{networks, QuantScheme, WeightGen};
 use ucnn_sim::banking::BankedInputBuffer;
 use ucnn_sim::chip::Simulator;
 use ucnn_sim::config::ArchConfig;
 use ucnn_sim::lane::{run_lane, LaneConfig};
-use ucnn_core::hierarchy::GroupStream;
 
 fn lcg_weights(seed: u64, len: usize, g: usize, alphabet: i16) -> Vec<Vec<i16>> {
     let mut state = seed | 1;

@@ -231,7 +231,10 @@ impl ConvGeom {
     /// Panics if `ct == 0` or `ct > C`.
     #[must_use]
     pub fn channel_tile(&self, ct: usize) -> ConvGeom {
-        assert!(ct > 0 && ct <= self.c, "channel tile must satisfy 0 < ct <= C");
+        assert!(
+            ct > 0 && ct <= self.c,
+            "channel tile must satisfy 0 < ct <= C"
+        );
         ConvGeom { c: ct, ..*self }
     }
 

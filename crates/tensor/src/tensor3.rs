@@ -64,7 +64,12 @@ impl<T: Elem> Tensor3<T> {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn from_fn(c: usize, w: usize, h: usize, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        c: usize,
+        w: usize,
+        h: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
         let mut t = Self::zeros(c, w, h);
         for ci in 0..c {
             for x in 0..w {

@@ -310,7 +310,8 @@ mod tests {
 
     #[test]
     fn indexed_iter_matches_indexing() {
-        let t = Tensor4::<i16>::from_fn(2, 2, 3, 2, |k, c, r, s| (k + 3 * c + 5 * r + 11 * s) as i16);
+        let t =
+            Tensor4::<i16>::from_fn(2, 2, 3, 2, |k, c, r, s| (k + 3 * c + 5 * r + 11 * s) as i16);
         for ((k, c, r, s), v) in t.indexed_iter() {
             assert_eq!(v, t[(k, c, r, s)]);
         }

@@ -11,14 +11,20 @@ use ucnn::model::networks;
 use ucnn::sim::{evaluation_designs, simulate_designs, WorkloadSpec};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "lenet".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lenet".to_string());
     let net = match which.as_str() {
         "alexnet" => networks::alexnet(),
         "resnet50" => networks::resnet50(),
         _ => networks::lenet(),
     };
-    println!("network: {} ({} weight-bearing layers, {:.1} MMACs)", net.name(),
-        net.conv_layers().len(), net.total_macs() as f64 / 1e6);
+    println!(
+        "network: {} ({} weight-bearing layers, {:.1} MMACs)",
+        net.name(),
+        net.conv_layers().len(),
+        net.total_macs() as f64 / 1e6
+    );
 
     // Each UCNN Uxx design runs a workload quantized to U = xx (as in the
     // paper's §VI-A); the dense baselines run the U = 17 workload — their
@@ -34,12 +40,19 @@ fn main() {
     let dcnn = baselines[0].clone();
     let mut reports = baselines;
     for u in [3usize, 17, 64, 256] {
-        let r = simulate_designs(&[ucnn::sim::ArchConfig::ucnn(u, 16)], &net, &spec_for(u), sample);
+        let r = simulate_designs(
+            &[ucnn::sim::ArchConfig::ucnn(u, 16)],
+            &net,
+            &spec_for(u),
+            sample,
+        );
         reports.extend(r);
     }
 
-    println!("\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
-        "design", "DRAM", "L2+NoC", "PE", "total", "cycles(norm)");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "design", "DRAM", "L2+NoC", "PE", "total", "cycles(norm)"
+    );
     for rep in &reports {
         let n = rep.total.energy.normalized_to(&dcnn.total.energy);
         println!(

@@ -11,14 +11,17 @@ use ucnn::core::compile::{compile_layer, UcnnConfig};
 use ucnn::core::encoding::{EncodingParams, IitEncoding};
 use ucnn::model::{networks, QuantScheme, WeightGen};
 use ucnn::sim::area::{dcnn_pe_area, ucnn_pe_area};
-use ucnn::sim::{ArchConfig, simulate_designs, WorkloadSpec};
+use ucnn::sim::{simulate_designs, ArchConfig, WorkloadSpec};
 
 fn main() {
     let net = networks::lenet();
 
     // --- G sweep on a ternary (U = 3) model -------------------------------
     println!("G sweep (U = 3 ternary model, 50% density):");
-    println!("{:<4} {:>12} {:>12} {:>12}", "G", "energy(x)", "cycles(x)", "bits/weight");
+    println!(
+        "{:<4} {:>12} {:>12} {:>12}",
+        "G", "energy(x)", "cycles(x)", "bits/weight"
+    );
     let spec = WorkloadSpec::uniform(3, 0.5, 11);
     let base = simulate_designs(&[ArchConfig::ucnn(3, 16).with_g(1)], &net, &spec, 8);
     let total_weights: usize = net
@@ -39,7 +42,10 @@ fn main() {
 
     // --- Group-cap sweep ---------------------------------------------------
     println!("\nactivation-group cap sweep (INQ weights, 3x3x64 filter bank):");
-    println!("{:<6} {:>14} {:>16}", "cap", "mult savings", "multiplier bits");
+    println!(
+        "{:<6} {:>14} {:>16}",
+        "cap", "mult savings", "multiplier bits"
+    );
     let mut gen = WeightGen::new(QuantScheme::inq(), 12).with_density(0.9);
     let w = gen.generate_dims(8, 64, 3, 3);
     for cap in [4usize, 8, 16, 32, 576] {

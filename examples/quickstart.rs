@@ -39,7 +39,10 @@ fn main() {
     let cfg = UcnnConfig::with_g(2);
     let out = verified_conv(&layer.geom(), layer.groups(), &input, &weights, &cfg);
     println!("\nLeNet conv2 ({}):", layer.geom());
-    println!("  unique weights U      : {}", QuantScheme::inq().unique_weights());
+    println!(
+        "  unique weights U      : {}",
+        QuantScheme::inq().unique_weights()
+    );
     println!("  weight density        : {:.2}", weights.density());
     println!(
         "  output checksum       : {}",

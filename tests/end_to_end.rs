@@ -18,7 +18,11 @@ fn tiny_network_factorized_inference_matches_dense() {
     let convs = net.conv_layers();
     let mut wgen = WeightGen::new(QuantScheme::inq(), 0xEE).with_density(0.9);
     let mut agen = ActivationGen::new(0xAF);
-    let cfg = UcnnConfig { g: 2, ct: 4, ..UcnnConfig::default() };
+    let cfg = UcnnConfig {
+        g: 2,
+        ct: 4,
+        ..UcnnConfig::default()
+    };
 
     let input = agen.generate_for(&convs[0]);
     let weights1 = wgen.generate(&convs[0]);
@@ -67,7 +71,13 @@ fn repetition_statistics_predict_plan_multiplies() {
     let mut wgen = WeightGen::new(QuantScheme::uniform_unique(17), 5).with_density(1.0);
     let weights = wgen.generate(&layer);
     let rep = ucnn::model::stats::LayerRepetition::measure("conv3", &weights);
-    let plan = compile_layer(&weights, &UcnnConfig { group_cap: usize::MAX / 2, ..UcnnConfig::with_g(1) });
+    let plan = compile_layer(
+        &weights,
+        &UcnnConfig {
+            group_cap: usize::MAX / 2,
+            ..UcnnConfig::with_g(1)
+        },
+    );
     // Without the cap, multiplies per filter = distinct non-zero values.
     let plan_mults_per_filter = plan.totals().multiplies as f64 / weights.k() as f64;
     assert!(
@@ -84,7 +94,13 @@ fn lane_and_plan_agree() {
     use ucnn::core::hierarchy::GroupStream;
     let mut wgen = WeightGen::new(QuantScheme::inq(), 9).with_density(0.9);
     let weights = wgen.generate_dims(2, 32, 3, 3);
-    let plan = compile_layer(&weights, &UcnnConfig { ct: 32, ..UcnnConfig::with_g(2) });
+    let plan = compile_layer(
+        &weights,
+        &UcnnConfig {
+            ct: 32,
+            ..UcnnConfig::with_g(2)
+        },
+    );
 
     let slices: Vec<&[i16]> = vec![weights.filter(0), weights.filter(1)];
     let stream = GroupStream::build_with_canonical(

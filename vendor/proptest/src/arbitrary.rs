@@ -1,0 +1,53 @@
+//! `any::<T>()` — the full-domain strategy for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy over the whole domain of `T`; returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing arbitrary values of `T`, mirroring
+/// `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_any_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}

@@ -1,0 +1,174 @@
+//! The deterministic case runner and its PRNG.
+
+/// Why a single property case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume) —
+    /// another input is drawn instead.
+    Reject,
+    /// An assertion failed; the message explains what.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self::Fail(message)
+    }
+}
+
+/// xoshiro256** seeded via SplitMix64 — deterministic and statistically
+/// strong enough for input sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    #[must_use]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: samples inputs and runs `case` until the configured
+/// number of cases pass, a case fails, or too many are rejected.
+///
+/// The seed is derived from the test name (so distinct properties explore
+/// distinct streams) and can be overridden with `PROPTEST_SEED`; the case
+/// count (default 64) with `PROPTEST_CASES`.
+///
+/// # Panics
+///
+/// Panics when a case fails or when rejection exhausts the attempt budget —
+/// that is how failures reach the test harness.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = env_usize("PROPTEST_CASES", 64);
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases.saturating_mul(16).max(256),
+                    "{name}: too many rejected cases ({rejected}) — \
+                     prop_assume! conditions are rarely satisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing case(s) \
+                     (seed {seed}, rerun with PROPTEST_SEED={seed}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_configured_cases() {
+        let mut calls = 0usize;
+        run("passing", |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_seed() {
+        run("failing", |rng| {
+            let v = rng.next_u64() % 10;
+            if v < 10 {
+                Err(TestCaseError::fail(format!("{v} is always < 10")))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn unsatisfiable_assume_is_reported() {
+        run("rejecting", |_| Err(TestCaseError::Reject));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        run("stream", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        run("stream", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}
