@@ -89,6 +89,16 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.bench_function("serve_stress", |b| b.iter(|| black_box(exp::serve(true))));
+    g.bench_function("compile_amortization", |b| {
+        b.iter(|| black_box(exp::compile_amortization(true)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     figures,
     bench_fig1_strategies,
@@ -103,5 +113,6 @@ criterion_group!(
     bench_fig14_jump,
     bench_table3_area,
     bench_ablations,
+    bench_serving,
 );
 criterion_main!(figures);

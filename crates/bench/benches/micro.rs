@@ -14,9 +14,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ucnn_core::compile::{compile_layer, UcnnConfig};
-use ucnn_core::exec::factorized_conv;
+use ucnn_core::exec::{factorized_conv, run_compiled};
 use ucnn_core::factorize::FilterFactorization;
 use ucnn_core::hierarchy::GroupStream;
+use ucnn_core::plan::CompiledLayer;
 use ucnn_model::reference;
 use ucnn_model::{ActivationGen, QuantScheme, WeightGen};
 use ucnn_sim::lane::{run_lane, LaneConfig};
@@ -95,6 +96,28 @@ fn bench_conv_executors(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_retained_plan(c: &mut Criterion) {
+    // Repeated inference of one layer: `factorized_conv` pays the
+    // sort/factorize cost per call, `run_compiled` only walks the retained
+    // streams. The FC shape (1×1 spatial) makes the gap largest — the
+    // compile-once case a serving engine lives in.
+    let geom = ConvGeom::new(1, 1, 1024, 32, 1, 1);
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 9).with_density(0.9);
+    let w = wgen.generate_dims(32, 1024, 1, 1);
+    let mut agen = ActivationGen::new(10);
+    let input = agen.generate(1024, 1, 1);
+    let cfg = UcnnConfig::with_g(2);
+    let plan = CompiledLayer::compile(&geom, 1, &w, &cfg);
+    let mut g = c.benchmark_group("fc_1024_to_32_repeat");
+    g.bench_function("factorized_per_call", |b| {
+        b.iter(|| black_box(factorized_conv(&geom, 1, &input, &w, &cfg)))
+    });
+    g.bench_function("run_compiled", |b| {
+        b.iter(|| black_box(run_compiled(&plan, &input)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_dot_products,
@@ -102,5 +125,6 @@ criterion_group!(
     bench_lane_walk,
     bench_layer_compile,
     bench_conv_executors,
+    bench_retained_plan,
 );
 criterion_main!(micro);

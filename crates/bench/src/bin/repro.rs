@@ -4,7 +4,7 @@
 //! repro <experiment>... [--quick] [--out DIR]
 //!
 //! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
-//!              table3 ablations all
+//!              table3 ablations serve all
 //! ```
 //!
 //! `--quick` shrinks networks/sweeps (used by CI and Criterion); the default
@@ -30,6 +30,7 @@ const ALL: &[&str] = &[
     "fig14",
     "table3",
     "ablations",
+    "serve",
 ];
 
 fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
@@ -50,6 +51,10 @@ fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
             experiments::ablate_group_cap(quick),
             experiments::ablate_ppr(),
             experiments::ablate_multipliers(),
+        ],
+        "serve" => vec![
+            experiments::serve(quick),
+            experiments::compile_amortization(quick),
         ],
         _ => return None,
     };

@@ -6,8 +6,10 @@
 
 use ucnn_core::compile::{compile_layer, compile_layer_sampled, UcnnConfig};
 use ucnn_core::encoding::{rle_bits_capped, EncodingParams, IitEncoding};
+use ucnn_core::exec::{factorized_conv, run_compiled};
 use ucnn_core::hierarchy::GroupStream;
 use ucnn_core::partial_product;
+use ucnn_core::plan::CompiledLayer;
 use ucnn_model::stats::LayerRepetition;
 use ucnn_model::{networks, NetworkSpec, QuantScheme, WeightGen};
 use ucnn_sim::area::{dcnn_pe_area, ucnn_pe_area};
@@ -663,6 +665,169 @@ pub fn ablate_multipliers() -> TableOut {
     t
 }
 
+/// Serving throughput/latency: closed-loop and fixed-rate open-loop stress
+/// runs against the compile-once engine on the tiny network, across worker
+/// counts. Every response is verified bit for bit against the dense
+/// reference (the run panics on any mismatch).
+#[must_use]
+pub fn serve(quick: bool) -> TableOut {
+    use std::sync::Arc;
+    use ucnn_model::forward;
+    use ucnn_serve::{loadgen, Engine, EngineConfig, ModelRegistry};
+
+    let net = networks::tiny();
+    let weights = forward::generate_network_weights(&net, QuantScheme::inq(), SEED, 0.9);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+
+    let mut agen = ucnn_model::ActivationGen::new(SEED ^ 0x5E12E);
+    let cases: Vec<loadgen::Case> = (0..6)
+        .map(|_| {
+            let input = agen.generate_for(&net.conv_layers()[0]);
+            let expected = forward::dense_forward(&net, &weights, &input);
+            (input, expected)
+        })
+        .collect();
+    let workload = loadgen::Workload {
+        model: "tiny",
+        cases: &cases,
+    };
+
+    let (worker_counts, iters, open_requests): (&[usize], usize, usize) = if quick {
+        (&[2], 20, 60)
+    } else {
+        (&[1, 2, 4, 8], 60, 400)
+    };
+
+    let mut t = TableOut::new(
+        "Serving: compile-once engine under closed/open-loop load (tiny net)",
+        &[
+            "mode",
+            "workers",
+            "requests",
+            "mismatch",
+            "dropped",
+            "req_per_s",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "mean_batch",
+        ],
+    );
+    for &workers in worker_counts {
+        // One engine per mode so batch counters are per-run, not blended.
+        let start_engine = || {
+            Engine::start(
+                Arc::clone(&registry),
+                EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let engine = start_engine();
+        let clients = 2 * workers;
+        let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
+        let closed_stats = engine.shutdown();
+
+        // Offer open-loop traffic at half the measured closed-loop
+        // capacity so the rate is sustainable at every worker count.
+        let engine = start_engine();
+        let rate = (closed.throughput_rps() / 2.0).max(50.0);
+        let open = loadgen::open_loop(&engine, &workload, rate, open_requests);
+        let open_stats = engine.shutdown();
+
+        assert_eq!(
+            closed.mismatches + open.mismatches,
+            0,
+            "serving outputs diverged from the dense reference"
+        );
+        for (report, stats) in [(&closed, closed_stats), (&open, open_stats)] {
+            t.push_row(vec![
+                report.label.clone(),
+                workers.to_string(),
+                report.completed.to_string(),
+                report.mismatches.to_string(),
+                report.dropped.to_string(),
+                f2(report.throughput_rps()),
+                f2(report.percentile_us(0.50)),
+                f2(report.percentile_us(0.95)),
+                f2(report.percentile_us(0.99)),
+                f2(stats.mean_batch()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Compile-once amortization: repeated inference of one layer through (a)
+/// the dense reference, (b) `factorized_conv`, which re-sorts and
+/// re-factorizes the weights on every call, and (c) a retained
+/// [`CompiledLayer`] via `run_compiled`. FC-shaped layers (1×1 spatial)
+/// make the per-call compilation cost visible: the stream walk is O(C) per
+/// output but the sort is O(C log C), so retaining the plan wins — the
+/// serving argument of UCNN §IV (and CREW's compile-once/serve-many MLPs).
+#[must_use]
+pub fn compile_amortization(quick: bool) -> TableOut {
+    use std::time::Instant;
+    use ucnn_tensor::{ConvGeom, Tensor3};
+
+    let (fc_c, conv_c, repeats) = if quick { (512, 32, 5) } else { (2048, 128, 20) };
+    let layers = [
+        ("fc 1x1", ConvGeom::new(1, 1, fc_c, 32, 1, 1)),
+        (
+            "conv 7x7",
+            ConvGeom::new(7, 7, conv_c, 16, 3, 3).with_pad(1),
+        ),
+    ];
+    let cfg = UcnnConfig::with_g(2);
+
+    let mut t = TableOut::new(
+        "Compile-once amortization: per-call time over repeated inference",
+        &["layer", "path", "calls", "per_call_us", "vs_factorized"],
+    );
+    for (name, geom) in layers {
+        let mut wgen = WeightGen::new(QuantScheme::inq(), SEED ^ 0xA3).with_density(0.9);
+        let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+        let mut agen = ucnn_model::ActivationGen::new(SEED ^ 0xA4);
+        let input: Tensor3<i16> = agen.generate(geom.c(), geom.in_w(), geom.in_h());
+
+        let t_dense = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(ucnn_model::reference::conv2d(&geom, 1, &input, &weights));
+        }
+        let dense_us = t_dense.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+
+        let t_fact = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(factorized_conv(&geom, 1, &input, &weights, &cfg));
+        }
+        let fact_us = t_fact.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+
+        let plan = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+        let t_comp = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(run_compiled(&plan, &input));
+        }
+        let compiled_us = t_comp.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+
+        for (path, us) in [
+            ("dense reference", dense_us),
+            ("factorized per-call", fact_us),
+            ("run_compiled (retained)", compiled_us),
+        ] {
+            t.push_row(vec![
+                name.to_string(),
+                path.to_string(),
+                repeats.to_string(),
+                f2(us),
+                f2(fact_us / us),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,6 +929,30 @@ mod tests {
         assert!((10.0..25.0).contains(&u17), "u17 {u17}%");
         assert!((17.0..32.0).contains(&u256), "u256 {u256}%");
         assert!(u256 > u17);
+    }
+
+    #[test]
+    fn serve_quick_completes_with_zero_mismatches() {
+        let t = serve(true);
+        assert_eq!(t.rows.len(), 2); // one closed + one open-loop row
+        for row in &t.rows {
+            assert!(row[2].parse::<u64>().unwrap() > 0, "no requests: {row:?}");
+            assert_eq!(row[3], "0", "mismatches: {row:?}");
+            assert!(row[5].parse::<f64>().unwrap() > 0.0, "throughput: {row:?}");
+        }
+    }
+
+    #[test]
+    fn amortization_retained_beats_per_call_on_fc() {
+        let t = compile_amortization(true);
+        assert_eq!(t.rows.len(), 6);
+        let fc_fact: f64 = t.rows[1][3].parse().unwrap();
+        let fc_compiled: f64 = t.rows[2][3].parse().unwrap();
+        assert!(
+            fc_compiled < fc_fact,
+            "retained plan ({fc_compiled} us) must beat per-call \
+             factorization ({fc_fact} us) on the fc layer"
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::hierarchy::{GroupStream, ZERO_RANK};
 pub struct UcnnConfig {
     /// Filters sharing one input indirection table (`G ≥ 1`).
     pub g: usize,
-    /// Channel tile size `Ct` (clamped to the layer's `C`).
+    /// Channel tile size `Ct`. Must be positive; values larger than a
+    /// layer's `C` are clamped per layer (see [`UcnnConfig::effective_ct`]).
     pub ct: usize,
     /// Maximum activation-group size before an early multiply is forced
     /// (§IV-B; the paper provisions 16).
@@ -56,6 +57,28 @@ impl UcnnConfig {
             g,
             ..Self::default()
         }
+    }
+
+    /// The channel tile size actually used for a layer with `c` input
+    /// channels: `ct` clamped down to `c`.
+    ///
+    /// Clamping is a contract, not an accident: one config is shared across
+    /// a whole network, so the default `Ct = 64` must also work for a
+    /// 3-channel first layer. Every compile/execute entry point routes its
+    /// tiling through this method so the behavior stays uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.ct == 0` (a zero tile cannot cover any channel
+    /// range) or if `c == 0`.
+    #[must_use]
+    pub fn effective_ct(&self, c: usize) -> usize {
+        assert!(
+            self.ct > 0,
+            "UcnnConfig::ct must be positive: Ct = 0 cannot tile channels"
+        );
+        assert!(c > 0, "layer channel count must be positive");
+        self.ct.min(c)
     }
 }
 
@@ -253,7 +276,6 @@ pub fn compile_layer_sampled(
     max_units: usize,
 ) -> LayerPlan {
     assert!(config.g > 0, "G must be positive");
-    assert!(config.ct > 0, "Ct must be positive");
     assert!(config.group_cap > 0, "group cap must be positive");
 
     let canonical = canonical_of_tensor(weights);
@@ -261,7 +283,7 @@ pub fn compile_layer_sampled(
     let k = weights.k();
     let rs = weights.r() * weights.s();
     let c = weights.c();
-    let ct = config.ct.min(c);
+    let ct = config.effective_ct(c);
 
     let total_units = k.div_ceil(config.g);
     let units_to_compile = total_units.min(max_units.max(1));
@@ -490,13 +512,46 @@ mod tests {
 
     #[test]
     fn ct_larger_than_c_is_clamped() {
+        // Ct beyond the layer's C compiles exactly like Ct = C: one tile.
         let w = checker_weights(2, 4, 4);
-        let cfg = UcnnConfig {
-            ct: 1024,
-            ..UcnnConfig::default()
-        };
-        let plan = compile_layer(&w, &cfg);
-        assert!(plan.totals().entries > 0);
+        let oversized = compile_layer(
+            &w,
+            &UcnnConfig {
+                ct: 1024,
+                ..UcnnConfig::default()
+            },
+        );
+        let exact = compile_layer(
+            &w,
+            &UcnnConfig {
+                ct: 4,
+                ..UcnnConfig::default()
+            },
+        );
+        assert!(oversized.totals().entries > 0);
+        assert_eq!(oversized.totals(), exact.totals());
+        assert_eq!(oversized.units(), exact.units());
+    }
+
+    #[test]
+    fn effective_ct_clamps_to_c() {
+        let cfg = UcnnConfig::default(); // ct = 64
+        assert_eq!(cfg.effective_ct(3), 3);
+        assert_eq!(cfg.effective_ct(64), 64);
+        assert_eq!(cfg.effective_ct(200), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ct = 0 cannot tile channels")]
+    fn zero_ct_is_rejected() {
+        let w = checker_weights(2, 4, 4);
+        let _ = compile_layer(
+            &w,
+            &UcnnConfig {
+                ct: 0,
+                ..UcnnConfig::default()
+            },
+        );
     }
 
     #[test]

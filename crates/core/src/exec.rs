@@ -11,6 +11,7 @@ use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
 
 use crate::compile::{canonical_of_tensor, UcnnConfig};
 use crate::hierarchy::{GroupStream, ZERO_RANK};
+use crate::plan::CompiledLayer;
 
 /// Runs a convolutional layer through UCNN's factorized dataflow.
 ///
@@ -22,7 +23,7 @@ use crate::hierarchy::{GroupStream, ZERO_RANK};
 /// # Panics
 ///
 /// Panics if tensor shapes disagree with `geom`/`conv_groups` (same
-/// contract as [`reference::conv2d`]).
+/// contract as [`reference::conv2d`]), or if `config.ct == 0`.
 ///
 /// # Examples
 ///
@@ -60,7 +61,7 @@ pub fn factorized_conv(
     let stride = geom.stride() as isize;
     let pad = geom.pad() as isize;
     let k_per_group = geom.k() / conv_groups;
-    let ct = config.ct.min(c_dim).max(1);
+    let ct = config.effective_ct(c_dim);
     let canonical = canonical_of_tensor(filters);
 
     let mut out = Tensor3::<i32>::zeros(geom.k(), out_w, out_h);
@@ -95,6 +96,70 @@ pub fn factorized_conv(
             }
             k0 = k1;
         }
+    }
+    out
+}
+
+/// Executes a [`CompiledLayer`] against an input — the serving hot path.
+///
+/// Identical arithmetic to [`factorized_conv`], but the sort/factorize work
+/// was done once at [`CompiledLayer::compile`] time: this function only
+/// walks the retained streams, so repeated inference of the same layer
+/// stops paying the per-call compilation cost.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the compiled layer's geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::exec::{factorized_conv, run_compiled};
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+///
+/// let geom = ConvGeom::new(5, 5, 3, 2, 3, 3);
+/// let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, r, s| ((k + c + r + s) % 3) as i16);
+/// let input = Tensor3::from_fn(3, 5, 5, |c, x, y| ((c + x + 2 * y) % 7) as i16);
+/// let cfg = UcnnConfig::with_g(2);
+/// let layer = CompiledLayer::compile(&geom, 1, &filters, &cfg);
+/// assert_eq!(run_compiled(&layer, &input), factorized_conv(&geom, 1, &input, &filters, &cfg));
+/// ```
+#[must_use]
+pub fn run_compiled(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32> {
+    let geom = layer.geom();
+    assert_eq!(
+        input.c(),
+        geom.c() * layer.conv_groups(),
+        "input channel mismatch"
+    );
+    assert!(
+        input.w() == geom.in_w() && input.h() == geom.in_h(),
+        "input plane mismatch"
+    );
+
+    let (out_w, out_h) = (geom.out_w(), geom.out_h());
+    let rs = geom.r() * geom.s();
+    let s_dim = geom.s();
+    let stride = geom.stride() as isize;
+    let pad = geom.pad() as isize;
+
+    let mut out = Tensor3::<i32>::zeros(geom.k(), out_w, out_h);
+    for tile in layer.tiles() {
+        accumulate_tile(
+            tile.stream(),
+            input,
+            &mut out,
+            tile.k_first(),
+            tile.c_first(),
+            rs,
+            s_dim,
+            stride,
+            pad,
+            out_w,
+            out_h,
+        );
     }
     out
 }
@@ -213,7 +278,14 @@ mod tests {
             ct,
             ..UcnnConfig::default()
         };
-        let _ = verified_conv(&geom, conv_groups, &input, &weights, &cfg);
+        let out = verified_conv(&geom, conv_groups, &input, &weights, &cfg);
+        // The retained-plan path must agree with the transient one.
+        let layer = CompiledLayer::compile(&geom, conv_groups, &weights, &cfg);
+        assert_eq!(
+            run_compiled(&layer, &input),
+            out,
+            "run_compiled diverged from factorized_conv"
+        );
     }
 
     #[test]
@@ -304,6 +376,19 @@ mod tests {
             4,
             9,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "Ct = 0 cannot tile channels")]
+    fn factorized_conv_rejects_zero_ct() {
+        let geom = ConvGeom::new(4, 4, 2, 2, 3, 3);
+        let input = Tensor3::filled(2, 4, 4, 1i16);
+        let filters = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 1i16);
+        let cfg = UcnnConfig {
+            ct: 0,
+            ..UcnnConfig::default()
+        };
+        let _ = factorized_conv(&geom, 1, &input, &filters, &cfg);
     }
 
     #[test]

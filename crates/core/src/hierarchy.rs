@@ -387,6 +387,15 @@ pub fn canonical_weights(filters: &[&[i16]]) -> Vec<i16> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn group_stream_is_send_sync() {
+        // Compile-time audit: streams are embedded in serving plans shared
+        // across worker threads, so they must stay free of interior
+        // mutability and non-Send handles.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GroupStream>();
+    }
+
     /// The exact example of the paper's Figure 7 (G = 2, weights {a, b}).
     ///
     /// Inputs x..n at positions 0..7; expected result: UCNN evaluates both

@@ -33,6 +33,10 @@
 //!   dense reference (used to validate everything end to end).
 //! * [`compile`] — compiles whole layers into per-tile streams plus the
 //!   aggregate statistics the accelerator simulator consumes.
+//! * [`plan`] — retained compilation for serving: [`CompiledLayer`] and
+//!   [`CompiledNetwork`] own the per-tile streams so the sort/factorize
+//!   work is paid once per model and the hot path only walks streams
+//!   ([`exec::run_compiled`]).
 //! * [`partial_product`] — the paper's third (unexploited) reuse form,
 //!   partial-product memoization across filters (§III-C), provided as an
 //!   extension for ablation.
@@ -60,7 +64,9 @@ pub mod exec;
 pub mod factorize;
 pub mod hierarchy;
 pub mod partial_product;
+pub mod plan;
 
 pub use compile::{LayerPlan, TileStats, UcnnConfig};
 pub use factorize::{ActivationGroup, FilterFactorization};
 pub use hierarchy::{GroupStream, StreamEntry};
+pub use plan::{CompiledLayer, CompiledNetwork, CompiledStage, CompiledTile};

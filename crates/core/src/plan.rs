@@ -1,0 +1,480 @@
+//! Retained compilation: compile once, execute many times.
+//!
+//! [`compile_layer`](crate::compile::compile_layer) walks per-tile
+//! [`GroupStream`]s and keeps only statistics, and
+//! [`factorized_conv`](crate::exec::factorized_conv) rebuilds the streams on
+//! every call — fine for analysis, wasteful for serving, where the paper's
+//! whole premise is that factorization is paid **once per model** and
+//! amortized over every inference (§IV: "the computation to set up these
+//! tables is amortized across the lifetime of the DNN deployment").
+//!
+//! This module is that retained form: a [`CompiledLayer`] owns the
+//! hierarchically sorted streams for every (filter-group × channel-tile)
+//! work unit plus the geometry needed to execute them, and a
+//! [`CompiledNetwork`] chains compiled layers with the wiring rule of
+//! [`ucnn_model::forward`]. Both are immutable after compilation and
+//! `Send + Sync`, so a serving engine shares one plan across worker threads
+//! behind an `Arc` without cloning. Execution goes through
+//! [`run_compiled`](crate::exec::run_compiled()) /
+//! [`CompiledNetwork::forward`] and stays bit-identical to the dense
+//! reference.
+
+use ucnn_model::{reference, LayerKind, NetworkSpec, PoolKind};
+use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+
+use crate::compile::{canonical_of_tensor, UcnnConfig};
+use crate::exec::run_compiled;
+use crate::hierarchy::GroupStream;
+
+/// One retained work unit of a compiled layer: the stream for a group of
+/// `≤ G` filters over one channel tile, plus where it lands in the layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledTile {
+    stream: GroupStream,
+    k_first: usize,
+    c_first: usize,
+}
+
+impl CompiledTile {
+    /// The hierarchically sorted stream for this tile.
+    #[must_use]
+    pub fn stream(&self) -> &GroupStream {
+        &self.stream
+    }
+
+    /// Absolute index of the first filter this tile contributes to.
+    #[must_use]
+    pub fn k_first(&self) -> usize {
+        self.k_first
+    }
+
+    /// Absolute index of the first input channel this tile reads.
+    #[must_use]
+    pub fn c_first(&self) -> usize {
+        self.c_first
+    }
+}
+
+/// A layer compiled for repeated execution: owned per-tile streams plus the
+/// geometry and config needed to run them.
+///
+/// Compilation performs the full sort/factorize work of
+/// [`factorized_conv`](crate::exec::factorized_conv) exactly once; each
+/// subsequent [`run_compiled`](crate::exec::run_compiled()) call only walks
+/// the retained streams.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::exec::run_compiled;
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_model::reference;
+/// use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+///
+/// let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+/// let filters = Tensor4::from_fn(4, 4, 3, 3, |k, c, r, s| ((k + c + r + s) % 3) as i16 - 1);
+/// let layer = CompiledLayer::compile(&geom, 1, &filters, &UcnnConfig::with_g(2));
+///
+/// let input = Tensor3::from_fn(4, 6, 6, |c, x, y| ((c + 2 * x + y) % 5) as i16);
+/// let fast = run_compiled(&layer, &input);           // no re-factorization
+/// assert_eq!(fast, reference::conv2d(&geom, 1, &input, &filters));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledLayer {
+    config: UcnnConfig,
+    geom: ConvGeom,
+    conv_groups: usize,
+    tiles: Vec<CompiledTile>,
+}
+
+impl CompiledLayer {
+    /// Compiles a layer's weights into retained per-tile streams.
+    ///
+    /// Tiling and grouping match `factorized_conv` exactly: filters are
+    /// grouped by `config.g` (never spanning conv groups), channels by
+    /// [`UcnnConfig::effective_ct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes disagree with `geom`/`conv_groups`, or if
+    /// `config.g == 0` or `config.ct == 0`.
+    #[must_use]
+    pub fn compile(
+        geom: &ConvGeom,
+        conv_groups: usize,
+        filters: &Tensor4<i16>,
+        config: &UcnnConfig,
+    ) -> Self {
+        assert!(config.g > 0, "G must be positive");
+        assert_eq!(filters.k(), geom.k(), "filter count mismatch");
+        assert_eq!(filters.c(), geom.c(), "filter channel mismatch");
+        assert!(
+            filters.r() == geom.r() && filters.s() == geom.s(),
+            "filter plane mismatch"
+        );
+        assert!(
+            conv_groups > 0 && geom.k() % conv_groups == 0,
+            "bad group count"
+        );
+
+        let rs = geom.r() * geom.s();
+        let c_dim = geom.c();
+        let ct = config.effective_ct(c_dim);
+        let k_per_group = geom.k() / conv_groups;
+        let canonical = canonical_of_tensor(filters);
+
+        let mut tiles = Vec::new();
+        for cg in 0..conv_groups {
+            let k_base = cg * k_per_group;
+            let c_base = cg * c_dim;
+            let mut k0 = 0usize;
+            while k0 < k_per_group {
+                let k1 = (k0 + config.g).min(k_per_group);
+                let mut c0 = 0usize;
+                while c0 < c_dim {
+                    let c1 = (c0 + ct).min(c_dim);
+                    let slices: Vec<&[i16]> = (k0..k1)
+                        .map(|ki| &filters.filter(k_base + ki)[c0 * rs..c1 * rs])
+                        .collect();
+                    tiles.push(CompiledTile {
+                        stream: GroupStream::build_with_canonical(&slices, &canonical),
+                        k_first: k_base + k0,
+                        c_first: c_base + c0,
+                    });
+                    c0 = c1;
+                }
+                k0 = k1;
+            }
+        }
+
+        Self {
+            config: *config,
+            geom: *geom,
+            conv_groups,
+            tiles,
+        }
+    }
+
+    /// The configuration the layer was compiled with.
+    #[must_use]
+    pub fn config(&self) -> &UcnnConfig {
+        &self.config
+    }
+
+    /// The layer geometry (per-group channel view, like [`ConvGeom`]).
+    #[must_use]
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    /// Number of channel groups (1 = ordinary convolution).
+    #[must_use]
+    pub fn conv_groups(&self) -> usize {
+        self.conv_groups
+    }
+
+    /// The retained work units, in execution order.
+    #[must_use]
+    pub fn tiles(&self) -> &[CompiledTile] {
+        &self.tiles
+    }
+
+    /// Total retained stream entries across all tiles — a proxy for the
+    /// plan's memory footprint.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.tiles.iter().map(|t| t.stream.entry_count()).sum()
+    }
+}
+
+/// One stage of a [`CompiledNetwork`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompiledStage {
+    /// A compiled weight-bearing layer (convolution, or a fully connected
+    /// layer executed as a 1×1 convolution after flattening).
+    Conv {
+        /// Layer name from the network specification.
+        name: String,
+        /// The retained execution plan.
+        layer: CompiledLayer,
+        /// Whether the incoming activations must be flattened first.
+        is_fc: bool,
+    },
+    /// A pooling stage (no weights; executed via the dense reference).
+    Pool {
+        /// Layer name from the network specification.
+        name: String,
+        /// Max or average.
+        kind: PoolKind,
+        /// Window size.
+        size: usize,
+        /// Stride.
+        stride: usize,
+    },
+}
+
+/// A whole network compiled front to back: the unit a serving engine
+/// registers once and executes per request.
+///
+/// [`CompiledNetwork::forward`] follows the wiring rule of
+/// [`ucnn_model::forward::dense_forward`] (ReLU between weight layers, raw
+/// `i32` logits from the final layer) and is bit-identical to it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledNetwork {
+    name: String,
+    stages: Vec<CompiledStage>,
+    input_dims: (usize, usize, usize),
+}
+
+impl CompiledNetwork {
+    /// Compiles every weight-bearing layer of `spec`, with `weights` in
+    /// [`NetworkSpec::conv_layers`] order, under one shared `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` has no layers or does not start with a
+    /// weight-bearing layer, if `weights` does not have one tensor per
+    /// weight-bearing layer, or if any shape disagrees with the spec.
+    #[must_use]
+    pub fn compile(spec: &NetworkSpec, weights: &[Tensor4<i16>], config: &UcnnConfig) -> Self {
+        let convs = spec.conv_layers();
+        assert_eq!(
+            weights.len(),
+            convs.len(),
+            "need one weight tensor per weight-bearing layer"
+        );
+        let first = spec
+            .layers()
+            .first()
+            .and_then(|l| l.as_conv())
+            .expect("network must start with a weight-bearing layer");
+        let input_dims = (
+            first.total_in_channels(),
+            first.geom().in_w(),
+            first.geom().in_h(),
+        );
+
+        let mut stages = Vec::with_capacity(spec.layers().len());
+        let mut wi = 0usize;
+        for layer in spec.layers() {
+            match layer.kind() {
+                LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => {
+                    let conv = layer.as_conv().expect("weight-bearing layer");
+                    stages.push(CompiledStage::Conv {
+                        name: layer.name().to_string(),
+                        layer: CompiledLayer::compile(
+                            &conv.geom(),
+                            conv.groups(),
+                            &weights[wi],
+                            config,
+                        ),
+                        is_fc: conv.is_fc(),
+                    });
+                    wi += 1;
+                }
+                LayerKind::Pool { kind, size, stride } => {
+                    stages.push(CompiledStage::Pool {
+                        name: layer.name().to_string(),
+                        kind: *kind,
+                        size: *size,
+                        stride: *stride,
+                    });
+                }
+            }
+        }
+
+        Self {
+            name: spec.name().to_string(),
+            stages,
+            input_dims,
+        }
+    }
+
+    /// Network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled stages, in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[CompiledStage] {
+        &self.stages
+    }
+
+    /// Input tensor dimensions `(C_total, W, H)` the network expects.
+    #[must_use]
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.input_dims
+    }
+
+    /// Total retained stream entries across all compiled layers.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.total_entries(),
+                CompiledStage::Pool { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Runs one inference from the retained plans — no per-call sorting or
+    /// factorization. Bit-identical to
+    /// [`ucnn_model::forward::dense_forward`] on the same spec and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match [`CompiledNetwork::input_dims`].
+    #[must_use]
+    pub fn forward(&self, input: &Tensor3<i16>) -> Tensor3<i32> {
+        assert_eq!(
+            (input.c(), input.w(), input.h()),
+            self.input_dims,
+            "input dims do not match the compiled network"
+        );
+        let last = self.stages.len() - 1;
+        let mut act = input.clone();
+        for (si, stage) in self.stages.iter().enumerate() {
+            match stage {
+                CompiledStage::Conv { layer, is_fc, .. } => {
+                    if *is_fc {
+                        act = ucnn_model::forward::flatten_for_fc(act, layer.geom().c());
+                    }
+                    let out = run_compiled(layer, &act);
+                    if si == last {
+                        return out;
+                    }
+                    act = reference::relu_saturate(&out);
+                }
+                CompiledStage::Pool {
+                    kind, size, stride, ..
+                } => {
+                    act = reference::pool2d(&act, *kind, *size, *stride);
+                    if si == last {
+                        return Tensor3::from_fn(act.c(), act.w(), act.h(), |c, x, y| {
+                            i32::from(act[(c, x, y)])
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("stages is non-empty, so the loop always returns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucnn_model::{forward, networks, ActivationGen, QuantScheme, WeightGen};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn plans_are_send_sync_for_worker_sharing() {
+        // Compile-time audit: serving workers share plans via Arc, so the
+        // whole plan tree must be Send + Sync without interior mutability.
+        assert_send_sync::<GroupStream>();
+        assert_send_sync::<CompiledTile>();
+        assert_send_sync::<CompiledLayer>();
+        assert_send_sync::<CompiledStage>();
+        assert_send_sync::<CompiledNetwork>();
+    }
+
+    #[test]
+    fn compiled_layer_mirrors_exec_tiling() {
+        // 10 filters, G = 4 → groups of 4, 4, 2; C = 10, Ct = 4 → tiles of
+        // 4, 4, 2 channels: 9 work units.
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 3).with_density(0.8);
+        let w = wgen.generate_dims(10, 10, 3, 3);
+        let geom = ConvGeom::new(8, 8, 10, 10, 3, 3);
+        let cfg = UcnnConfig {
+            g: 4,
+            ct: 4,
+            ..UcnnConfig::default()
+        };
+        let layer = CompiledLayer::compile(&geom, 1, &w, &cfg);
+        assert_eq!(layer.tiles().len(), 9);
+        assert_eq!(layer.tiles()[0].k_first(), 0);
+        assert_eq!(layer.tiles()[2].c_first(), 8);
+        assert!(layer.total_entries() > 0);
+    }
+
+    #[test]
+    fn grouped_layer_tiles_stay_in_their_group() {
+        // 2 conv groups × 2 filters, C = 4 per group: filter groups must
+        // not span conv groups and channel bases must be per-group.
+        let mut wgen = WeightGen::new(QuantScheme::ttq(), 5).with_density(0.9);
+        let w = wgen.generate_dims(4, 4, 3, 3);
+        let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+        let layer = CompiledLayer::compile(&geom, 2, &w, &UcnnConfig::with_g(4));
+        // G is clamped to the 2 filters of each conv group → 2 tiles.
+        assert_eq!(layer.tiles().len(), 2);
+        assert_eq!(layer.tiles()[0].k_first(), 0);
+        assert_eq!(layer.tiles()[0].c_first(), 0);
+        assert_eq!(layer.tiles()[1].k_first(), 2);
+        assert_eq!(layer.tiles()[1].c_first(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter plane mismatch")]
+    fn compile_rejects_mismatched_filter_plane() {
+        let w = Tensor4::from_fn(4, 4, 5, 5, |_, _, _, _| 1i16);
+        let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+        let _ = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "Ct = 0 cannot tile channels")]
+    fn compile_rejects_zero_ct() {
+        let w = Tensor4::from_vec(1, 1, 1, 1, vec![1i16]).unwrap();
+        let geom = ConvGeom::new(2, 2, 1, 1, 1, 1);
+        let _ = CompiledLayer::compile(
+            &geom,
+            1,
+            &w,
+            &UcnnConfig {
+                ct: 0,
+                ..UcnnConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn network_forward_matches_dense_reference() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 21, 0.85);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(22);
+        for _ in 0..3 {
+            let input = agen.generate_for(&net.conv_layers()[0]);
+            assert_eq!(
+                compiled.forward(&input),
+                forward::dense_forward(&net, &weights, &input),
+                "compiled network diverged from dense forward"
+            );
+        }
+    }
+
+    #[test]
+    fn network_metadata() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::ttq(), 4, 0.5);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::default());
+        assert_eq!(compiled.name(), "tiny");
+        assert_eq!(compiled.input_dims(), (3, 12, 12));
+        assert_eq!(compiled.stages().len(), 4);
+        assert!(compiled.total_entries() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dims do not match")]
+    fn forward_rejects_wrong_input_shape() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 4, 0.9);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::default());
+        let _ = compiled.forward(&Tensor3::filled(3, 5, 5, 1i16));
+    }
+}

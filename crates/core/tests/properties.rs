@@ -6,9 +6,10 @@ use proptest::prelude::*;
 
 use ucnn_core::compile::{compile_layer, UcnnConfig};
 use ucnn_core::encoding::{rle_bits, rle_bits_capped, table_cost, EncodingParams, IitEncoding};
-use ucnn_core::exec::factorized_conv;
+use ucnn_core::exec::{factorized_conv, run_compiled};
 use ucnn_core::factorize::FilterFactorization;
 use ucnn_core::hierarchy::GroupStream;
+use ucnn_core::plan::CompiledLayer;
 use ucnn_model::reference;
 use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
 
@@ -158,6 +159,46 @@ proptest! {
         let fast = factorized_conv(&geom, 1, &input, &filters, &cfg);
         let slow = reference::conv2d(&geom, 1, &input, &filters);
         prop_assert_eq!(fast, slow);
+    }
+
+    /// Retained plans execute bit-identically to both the transient
+    /// factorized path and the dense reference, across random geometries
+    /// including `stride > 1`, `conv_groups > 1`, and `ct < C` tiling.
+    #[test]
+    fn run_compiled_equals_factorized_and_reference(
+        seed in any::<u64>(),
+        g in 1usize..=3,
+        ct in 1usize..=6,
+        k_per_group in 1usize..=4,
+        c in 2usize..=6,
+        conv_groups in 1usize..=2,
+        stride in 1usize..=3,
+        pad in 0usize..=1,
+    ) {
+        let (w, h, r, s) = (7usize, 6usize, 3usize, 2usize);
+        let k = k_per_group * conv_groups;
+        prop_assume!(ConvGeom::validated(w, h, c, k, r, s, stride, pad).is_ok());
+        let geom = ConvGeom::validated(w, h, c, k, r, s, stride, pad).unwrap();
+        let mut state = seed | 1;
+        let mut next = move |m: i16| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i16).rem_euclid(m) - m / 2
+        };
+        let filters = Tensor4::from_fn(k, c, r, s, |_, _, _, _| next(7));
+        let input = Tensor3::from_fn(c * conv_groups, w, h, |_, _, _| next(61));
+        let cfg = UcnnConfig { g, ct, ..UcnnConfig::default() };
+        let layer = CompiledLayer::compile(&geom, conv_groups, &filters, &cfg);
+        let compiled = run_compiled(&layer, &input);
+        // Compile once, run twice: the plan must not be consumed or mutated.
+        prop_assert_eq!(&run_compiled(&layer, &input), &compiled);
+        prop_assert_eq!(
+            &compiled,
+            &factorized_conv(&geom, conv_groups, &input, &filters, &cfg)
+        );
+        prop_assert_eq!(
+            &compiled,
+            &reference::conv2d(&geom, conv_groups, &input, &filters)
+        );
     }
 
     /// Compiled plan totals are internally consistent.

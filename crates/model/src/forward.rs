@@ -1,0 +1,195 @@
+//! Dense whole-network forward pass — the serving-path ground truth.
+//!
+//! The factorized executors in `ucnn-core` are validated layer by layer
+//! against [`reference::conv2d`]; a serving engine needs the same anchor for
+//! a *whole network*. [`dense_forward`] chains the dense reference kernels
+//! front to back with one fixed wiring rule, and the compiled-network
+//! executor must reproduce its output bit for bit.
+//!
+//! Wiring rule: activations flow as `i16`; every weight-bearing layer
+//! (convolution or fully connected) produces `i32` partial sums, passed
+//! through [`reference::relu_saturate`] before the next layer — except the
+//! network's **final** layer, whose raw `i32` output (the logits) is
+//! returned. Fully connected layers flatten the incoming activation tensor
+//! in `(c, x, y)` storage order onto a 1×1 spatial plane. Pooling layers
+//! operate on the `i16` activations directly.
+
+use ucnn_tensor::{Tensor3, Tensor4};
+
+use crate::reference;
+use crate::{LayerKind, NetworkSpec, QuantScheme, WeightGen};
+
+/// Flattens an activation tensor onto a 1×1 spatial plane for a fully
+/// connected layer, preserving `(c, x, y)` storage order.
+///
+/// # Panics
+///
+/// Panics if the tensor's element count does not equal `in_features`.
+#[must_use]
+pub fn flatten_for_fc(act: Tensor3<i16>, in_features: usize) -> Tensor3<i16> {
+    assert_eq!(
+        act.len(),
+        in_features,
+        "activation count {} does not match fc in_features {in_features}",
+        act.len()
+    );
+    Tensor3::from_vec(in_features, 1, 1, act.into_vec()).expect("flattened dims are consistent")
+}
+
+/// Runs a whole network densely: the bit-exact reference for any compiled
+/// or factorized serving path.
+///
+/// `weights` holds one tensor per weight-bearing layer, in
+/// [`NetworkSpec::conv_layers`] order. Returns the final layer's raw `i32`
+/// output (pre-activation logits for the usual conv…fc networks; if a
+/// network ends in a pooling layer, the pooled `i16` activations widened to
+/// `i32`).
+///
+/// # Panics
+///
+/// Panics if `weights` does not have one entry per weight-bearing layer or
+/// if any tensor shape disagrees with the specification.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_model::{forward, networks, QuantScheme};
+/// use ucnn_model::ActivationGen;
+///
+/// let net = networks::tiny();
+/// let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 7, 0.9);
+/// let input = ActivationGen::new(8).generate_for(&net.conv_layers()[0]);
+/// let logits = forward::dense_forward(&net, &weights, &input);
+/// assert_eq!(logits.c(), 10); // tiny ends in a 10-way fc
+/// ```
+#[must_use]
+pub fn dense_forward(
+    spec: &NetworkSpec,
+    weights: &[Tensor4<i16>],
+    input: &Tensor3<i16>,
+) -> Tensor3<i32> {
+    assert_eq!(
+        weights.len(),
+        spec.conv_layers().len(),
+        "need one weight tensor per weight-bearing layer"
+    );
+    // An empty network is a degenerate identity.
+    if spec.layers().is_empty() {
+        return widen(input);
+    }
+    let last = spec.layers().len() - 1;
+    let mut act = input.clone();
+    let mut wi = 0usize;
+    for (li, layer) in spec.layers().iter().enumerate() {
+        match layer.kind() {
+            LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => {
+                let conv = layer.as_conv().expect("weight-bearing layer");
+                if conv.is_fc() {
+                    act = flatten_for_fc(act, conv.geom().c());
+                }
+                let out = reference::conv2d(&conv.geom(), conv.groups(), &act, &weights[wi]);
+                wi += 1;
+                if li == last {
+                    return out;
+                }
+                act = reference::relu_saturate(&out);
+            }
+            LayerKind::Pool { kind, size, stride } => {
+                act = reference::pool2d(&act, *kind, *size, *stride);
+                if li == last {
+                    return widen(&act);
+                }
+            }
+        }
+    }
+    unreachable!("the final layer always returns inside the loop")
+}
+
+fn widen(act: &Tensor3<i16>) -> Tensor3<i32> {
+    Tensor3::from_fn(act.c(), act.w(), act.h(), |c, x, y| {
+        i32::from(act[(c, x, y)])
+    })
+}
+
+/// Generates one weight tensor per weight-bearing layer of `spec`, in
+/// [`NetworkSpec::conv_layers`] order — the standard way to stand up a
+/// servable synthetic model.
+#[must_use]
+pub fn generate_network_weights(
+    spec: &NetworkSpec,
+    scheme: QuantScheme,
+    seed: u64,
+    density: f64,
+) -> Vec<Tensor4<i16>> {
+    let mut gen = WeightGen::new(scheme, seed).with_density(density);
+    spec.conv_layers().iter().map(|l| gen.generate(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{networks, ActivationGen, LayerSpec, PoolKind};
+    use ucnn_tensor::ConvGeom;
+
+    #[test]
+    fn tiny_forward_matches_manual_chain() {
+        let net = networks::tiny();
+        let convs = net.conv_layers();
+        let weights = generate_network_weights(&net, QuantScheme::inq(), 77, 0.9);
+        let input = ActivationGen::new(78).generate_for(&convs[0]);
+
+        let a1 = reference::relu_saturate(&reference::conv_layer(&convs[0], &input, &weights[0]));
+        let a2 = reference::relu_saturate(&reference::conv_layer(&convs[1], &a1, &weights[1]));
+        let pooled = reference::pool2d(&a2, PoolKind::Max, 2, 2);
+        let flat = flatten_for_fc(pooled, convs[2].geom().c());
+        let logits = reference::conv2d(&convs[2].geom(), 1, &flat, &weights[2]);
+
+        assert_eq!(dense_forward(&net, &weights, &input), logits);
+    }
+
+    #[test]
+    fn final_layer_output_is_raw_i32() {
+        // A single-conv network returns pre-ReLU sums: negatives survive.
+        let mut net = NetworkSpec::new("one");
+        net.push(LayerSpec::conv("c", ConvGeom::new(3, 3, 1, 1, 3, 3)));
+        let weights = vec![Tensor4::from_vec(1, 1, 3, 3, vec![-1i16; 9]).unwrap()];
+        let input = Tensor3::filled(1, 3, 3, 1i16);
+        let out = dense_forward(&net, &weights, &input);
+        assert_eq!(out.as_slice(), &[-9]);
+    }
+
+    #[test]
+    fn trailing_pool_widens() {
+        let mut net = NetworkSpec::new("convpool");
+        net.push(LayerSpec::conv("c", ConvGeom::new(4, 4, 1, 1, 1, 1)));
+        net.push(LayerSpec::pool("p", PoolKind::Max, 2, 2));
+        let weights = vec![Tensor4::from_vec(1, 1, 1, 1, vec![1i16]).unwrap()];
+        let input = Tensor3::from_fn(1, 4, 4, |_, x, y| (x * 4 + y) as i16);
+        let out = dense_forward(&net, &weights, &input);
+        assert_eq!(out.c(), 1);
+        assert_eq!(out.w(), 2);
+        assert_eq!(out[(0, 1, 1)], 15);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let net = NetworkSpec::new("empty");
+        let input = Tensor3::from_vec(1, 1, 3, vec![1i16, -2, 3]).unwrap();
+        let out = dense_forward(&net, &[], &input);
+        assert_eq!(out.as_slice(), &[1, -2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight tensor per")]
+    fn weight_count_mismatch_panics() {
+        let net = networks::tiny();
+        let input = ActivationGen::new(1).generate_for(&net.conv_layers()[0]);
+        let _ = dense_forward(&net, &[], &input);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match fc in_features")]
+    fn fc_flatten_checks_length() {
+        let _ = flatten_for_fc(Tensor3::filled(2, 2, 2, 1i16), 9);
+    }
+}

@@ -1,0 +1,399 @@
+//! The batched inference engine: a bounded request queue feeding a pool of
+//! worker threads that execute retained [`CompiledNetwork`] plans.
+//!
+//! Workers share plans via `Arc` (the plan tree is `Send + Sync`, asserted
+//! at compile time in `ucnn-core`), so any number of workers serve any
+//! number of models with zero per-request compilation or weight copies.
+//! Each worker drains the queue in dynamic batches: under light load a
+//! batch is a single request (no added latency), under backlog it grows up
+//! to the configured limit, amortizing queue synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ucnn_core::plan::CompiledNetwork;
+use ucnn_tensor::Tensor3;
+
+use crate::queue::{BoundedQueue, TryPushError};
+use crate::registry::ModelRegistry;
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker thread count (`≥ 1`).
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure depth).
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains per batch.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 8,
+        }
+    }
+}
+
+/// Errors surfaced by request submission or completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The named model is not registered.
+    UnknownModel(String),
+    /// The engine is shutting down; the request was not enqueued.
+    ShuttingDown,
+    /// The queue was full on a non-blocking submit (open-loop overload).
+    Overloaded,
+    /// The worker dropped the response channel (worker panic).
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Overloaded => write!(f, "request queue is full"),
+            ServeError::WorkerLost => write!(f, "worker dropped the response"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One completed inference.
+#[derive(Clone, Debug)]
+pub struct ServeResponse {
+    /// The network output (bit-identical to the dense reference).
+    pub output: Tensor3<i32>,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_ns: u64,
+    /// Time the worker spent executing the forward pass.
+    pub service_ns: u64,
+    /// Size of the batch this request was served in.
+    pub batch_size: usize,
+    /// Index of the worker that served it.
+    pub worker: usize,
+    /// When the worker finished (for open-loop latency accounting).
+    pub completed_at: Instant,
+}
+
+/// Handle to a submitted request; [`Pending::wait`] blocks for completion.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<ServeResponse>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] if the serving worker died.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+    }
+}
+
+struct Request {
+    model: Arc<CompiledNetwork>,
+    input: Tensor3<i16>,
+    enqueued_at: Instant,
+    tx: mpsc::Sender<ServeResponse>,
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Aggregate engine counters returned by [`Engine::shutdown`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served across all workers.
+    pub served: u64,
+    /// Batches executed across all workers.
+    pub batches: u64,
+}
+
+impl EngineStats {
+    /// Mean dynamic batch size (1.0 when idle-polling dominated).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The serving engine: registry + queue + worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
+/// use ucnn_serve::{Engine, EngineConfig, ModelRegistry};
+///
+/// let registry = Arc::new(ModelRegistry::new());
+/// let net = networks::tiny();
+/// let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 1, 0.9);
+/// registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+///
+/// let engine = Engine::start(Arc::clone(&registry), EngineConfig { workers: 2, ..EngineConfig::default() });
+/// let input = ActivationGen::new(2).generate_for(&net.conv_layers()[0]);
+/// let response = engine.submit("tiny", input.clone()).unwrap().wait().unwrap();
+/// assert_eq!(response.output, forward::dense_forward(&net, &weights, &input));
+/// let stats = engine.shutdown();
+/// assert_eq!(stats.served, 1);
+/// ```
+pub struct Engine {
+    registry: Arc<ModelRegistry>,
+    queue: Arc<BoundedQueue<Request>>,
+    counters: Arc<Counters>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns the worker pool and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` (queue/batch sizing is validated by
+    /// the queue itself).
+    #[must_use]
+    pub fn start(registry: Arc<ModelRegistry>, config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let workers = (0..config.workers)
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let max_batch = config.max_batch;
+                std::thread::Builder::new()
+                    .name(format!("ucnn-serve-{worker}"))
+                    .spawn(move || worker_loop(worker, &queue, &counters, max_batch))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Self {
+            registry,
+            queue,
+            counters,
+            workers,
+        }
+    }
+
+    /// The registry this engine serves from.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Submits a request by model name, blocking while the queue is full
+    /// (closed-loop backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] or [`ServeError::ShuttingDown`].
+    pub fn submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
+        let plan = self
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        self.submit_plan(plan, input)
+    }
+
+    /// Submits a request for an already resolved plan, blocking while the
+    /// queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] after [`Engine::shutdown`].
+    pub fn submit_plan(
+        &self,
+        model: Arc<CompiledNetwork>,
+        input: Tensor3<i16>,
+    ) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.queue
+            .push(Request {
+                model,
+                input,
+                enqueued_at: Instant::now(),
+                tx,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(Pending { rx })
+    }
+
+    /// Non-blocking submit for open-loop load: a full queue is an
+    /// [`ServeError::Overloaded`] drop, not a stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::Overloaded`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn try_submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
+        let plan = self
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let (tx, rx) = mpsc::channel();
+        self.queue
+            .try_push(Request {
+                model: plan,
+                input,
+                enqueued_at: Instant::now(),
+                tx,
+            })
+            .map_err(|e| match e {
+                TryPushError::Full => ServeError::Overloaded,
+                TryPushError::Closed => ServeError::ShuttingDown,
+            })?;
+        Ok(Pending { rx })
+    }
+
+    /// Current queue depth (diagnostics).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops accepting requests, drains the queue, joins all workers, and
+    /// returns the aggregate counters.
+    #[must_use]
+    pub fn shutdown(mut self) -> EngineStats {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        EngineStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // If shutdown() was skipped, still unblock the workers; detached
+        // threads then exit on their own once the queue drains.
+        self.queue.close();
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    queue: &BoundedQueue<Request>,
+    counters: &Counters,
+    max_batch: usize,
+) {
+    while let Some(batch) = queue.pop_batch(max_batch) {
+        let batch_size = batch.len();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        for req in batch {
+            let start = Instant::now();
+            let output = req.model.forward(&req.input);
+            let completed_at = Instant::now();
+            counters.served.fetch_add(1, Ordering::Relaxed);
+            // A dropped receiver (client gave up) is not an error.
+            let _ = req.tx.send(ServeResponse {
+                output,
+                queue_ns: ns(start.duration_since(req.enqueued_at)),
+                service_ns: ns(completed_at.duration_since(start)),
+                batch_size,
+                worker,
+                completed_at,
+            });
+        }
+    }
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucnn_core::compile::UcnnConfig;
+    use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
+
+    fn tiny_engine(workers: usize) -> (Engine, Vec<(Tensor3<i16>, Tensor3<i32>)>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 11, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(12);
+        let cases: Vec<_> = (0..4)
+            .map(|_| {
+                let input = agen.generate_for(&net.conv_layers()[0]);
+                let expected = forward::dense_forward(&net, &weights, &input);
+                (input, expected)
+            })
+            .collect();
+        let engine = Engine::start(
+            registry,
+            EngineConfig {
+                workers,
+                queue_capacity: 32,
+                max_batch: 4,
+            },
+        );
+        (engine, cases)
+    }
+
+    #[test]
+    fn serves_correct_outputs_across_workers() {
+        let (engine, cases) = tiny_engine(2);
+        let pendings: Vec<_> = (0..12)
+            .map(|i| {
+                let (input, _) = &cases[i % cases.len()];
+                engine.submit("tiny", input.clone()).unwrap()
+            })
+            .collect();
+        for (i, pending) in pendings.into_iter().enumerate() {
+            let resp = pending.wait().unwrap();
+            assert_eq!(resp.output, cases[i % cases.len()].1, "request {i}");
+            assert!(resp.batch_size >= 1);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.served, 12);
+        assert!(stats.batches >= 1 && stats.batches <= 12);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let (engine, cases) = tiny_engine(1);
+        let err = engine.submit("nope", cases[0].0.clone()).unwrap_err();
+        assert_eq!(err, ServeError::UnknownModel("nope".into()));
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let (engine, cases) = tiny_engine(1);
+        let registry = Arc::clone(engine.registry());
+        let _ = engine.shutdown();
+        // A fresh engine on a closed queue is unreachable from the public
+        // API, so exercise the error through a new engine's closed state.
+        let engine = Engine::start(registry, EngineConfig::default());
+        engine.queue.close();
+        assert_eq!(
+            engine.submit("tiny", cases[0].0.clone()).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        let _ = engine.shutdown();
+    }
+}

@@ -1,0 +1,68 @@
+//! **ucnn-serve** — a compile-once batched inference engine with a
+//! stress-test harness.
+//!
+//! The UCNN premise is that factorization work is paid **once per model**
+//! and amortized over every inference (paper §IV). This crate is the
+//! serving side of that bargain:
+//!
+//! * [`ModelRegistry`] — compile a network once
+//!   ([`ucnn_core::plan::CompiledNetwork`]), register it by name, and share
+//!   the immutable plan across threads behind an `Arc`.
+//! * [`Engine`] — a bounded request queue with dynamic batching feeding a
+//!   pool of worker threads; every response is produced by
+//!   [`ucnn_core::exec::run_compiled`] and is bit-identical to the dense
+//!   reference.
+//! * [`LatencyHistogram`] — HDR-style log-bucketed latency recording with
+//!   ≤ ~3 % relative error.
+//! * [`loadgen`] — closed-loop and fixed-rate open-loop stress drivers
+//!   that verify every response against precomputed dense outputs and
+//!   report throughput with p50/p95/p99 latency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ucnn_core::compile::UcnnConfig;
+//! use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
+//! use ucnn_serve::{loadgen, Engine, EngineConfig, ModelRegistry};
+//!
+//! // Compile once...
+//! let registry = Arc::new(ModelRegistry::new());
+//! let net = networks::tiny();
+//! let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 1, 0.9);
+//! registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+//!
+//! // ...serve many.
+//! let engine = Engine::start(registry, EngineConfig { workers: 2, ..EngineConfig::default() });
+//! let mut agen = ActivationGen::new(2);
+//! let cases: Vec<loadgen::Case> = (0..2)
+//!     .map(|_| {
+//!         let input = agen.generate_for(&net.conv_layers()[0]);
+//!         let expected = forward::dense_forward(&net, &weights, &input);
+//!         (input, expected)
+//!     })
+//!     .collect();
+//! let report = loadgen::closed_loop(
+//!     &engine,
+//!     &loadgen::Workload { model: "tiny", cases: &cases },
+//!     2,
+//!     3,
+//! );
+//! assert_eq!(report.completed, 6);
+//! assert_eq!(report.mismatches, 0);
+//! let _ = engine.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod histogram;
+pub mod loadgen;
+pub mod queue;
+pub mod registry;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Pending, ServeError, ServeResponse};
+pub use histogram::LatencyHistogram;
+pub use loadgen::{LoadReport, Workload};
+pub use registry::ModelRegistry;

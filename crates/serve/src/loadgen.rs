@@ -1,0 +1,307 @@
+//! Load generators: closed-loop and fixed-rate open-loop stress drivers
+//! with bit-exact response verification.
+//!
+//! * **Closed loop** — `N` client threads each issue requests back to back;
+//!   offered load adapts to service capacity (the engine's bounded queue
+//!   provides backpressure). Measures attainable throughput.
+//! * **Open loop** — requests are dispatched on a fixed schedule regardless
+//!   of completions, the way production traffic arrives. Latency is
+//!   measured from the *scheduled* arrival time, so queueing delay from a
+//!   saturated engine is charged to the engine, not silently absorbed by a
+//!   stalled generator (no coordinated omission).
+//!
+//! Every response is compared bit for bit against a precomputed dense
+//! reference output; any divergence counts as a mismatch in the report.
+
+use std::time::{Duration, Instant};
+
+use ucnn_tensor::Tensor3;
+
+use crate::engine::{Engine, ServeError};
+use crate::histogram::LatencyHistogram;
+
+/// One verified request case: an input and its dense-reference output.
+pub type Case = (Tensor3<i16>, Tensor3<i32>);
+
+/// What to drive: a registered model plus verified input/output cases that
+/// clients cycle through round-robin.
+pub struct Workload<'a> {
+    /// Registered model name.
+    pub model: &'a str,
+    /// Verified cases (input, expected dense-reference output).
+    pub cases: &'a [Case],
+}
+
+/// Outcome of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Human-readable run label (mode, workers, clients/rate).
+    pub label: String,
+    /// Responses received and verified.
+    pub completed: u64,
+    /// Responses whose output differed from the dense reference.
+    pub mismatches: u64,
+    /// Open-loop requests dropped because the queue was full.
+    pub dropped: u64,
+    /// Submit/wait errors (engine shutdown mid-run).
+    pub errors: u64,
+    /// Wall-clock from first dispatch to last completion.
+    pub elapsed: Duration,
+    /// End-to-end latency distribution (nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Latency quantile in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        self.latency.percentile(q) as f64 / 1_000.0
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+}
+
+/// Runs `clients` concurrent closed-loop clients, each issuing
+/// `iters_per_client` requests back to back, verifying every response.
+///
+/// # Panics
+///
+/// Panics if `clients == 0`, `iters_per_client == 0`, or the workload has
+/// no cases.
+#[must_use]
+pub fn closed_loop(
+    engine: &Engine,
+    workload: &Workload<'_>,
+    clients: usize,
+    iters_per_client: usize,
+) -> LoadReport {
+    assert!(clients > 0, "need at least one client");
+    assert!(iters_per_client > 0, "need at least one iteration");
+    assert!(!workload.cases.is_empty(), "workload needs cases");
+
+    let started = Instant::now();
+    let per_client: Vec<(LatencyHistogram, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut mismatches = 0u64;
+                    let mut errors = 0u64;
+                    for i in 0..iters_per_client {
+                        let (input, expected) =
+                            &workload.cases[(client + i * clients) % workload.cases.len()];
+                        let sent = Instant::now();
+                        let outcome = engine
+                            .submit(workload.model, input.clone())
+                            .and_then(crate::engine::Pending::wait);
+                        match outcome {
+                            Ok(resp) => {
+                                hist.record(ns(resp.completed_at.duration_since(sent)));
+                                if &resp.output != expected {
+                                    mismatches += 1;
+                                }
+                            }
+                            Err(ServeError::ShuttingDown) => {
+                                errors += 1;
+                                break;
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (hist, mismatches, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latency = LatencyHistogram::new();
+    let mut mismatches = 0u64;
+    let mut errors = 0u64;
+    for (h, m, e) in &per_client {
+        latency.merge(h);
+        mismatches += m;
+        errors += e;
+    }
+    LoadReport {
+        label: format!("closed-loop x{clients} clients"),
+        completed: latency.count(),
+        mismatches,
+        dropped: 0,
+        errors,
+        elapsed,
+        latency,
+    }
+}
+
+/// Dispatches `requests` requests at a fixed `rate_hz`, regardless of
+/// completions, then waits for all of them. Latency is charged from each
+/// request's *scheduled* arrival time; requests hitting a full queue are
+/// dropped and counted, not retried.
+///
+/// # Panics
+///
+/// Panics if `rate_hz` is not finite-positive, `requests == 0`, or the
+/// workload has no cases.
+#[must_use]
+pub fn open_loop(
+    engine: &Engine,
+    workload: &Workload<'_>,
+    rate_hz: f64,
+    requests: usize,
+) -> LoadReport {
+    assert!(
+        rate_hz.is_finite() && rate_hz > 0.0,
+        "rate must be positive"
+    );
+    assert!(requests > 0, "need at least one request");
+    assert!(!workload.cases.is_empty(), "workload needs cases");
+
+    let interval = Duration::from_secs_f64(1.0 / rate_hz);
+    let started = Instant::now();
+    let mut pending = Vec::with_capacity(requests);
+    let mut dropped = 0u64;
+    let mut errors = 0u64;
+    for i in 0..requests {
+        let scheduled = started + interval * i as u32;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let (input, _) = &workload.cases[i % workload.cases.len()];
+        match engine.try_submit(workload.model, input.clone()) {
+            Ok(p) => pending.push((i, scheduled, p)),
+            Err(ServeError::Overloaded) => dropped += 1,
+            Err(_) => errors += 1,
+        }
+    }
+
+    let mut latency = LatencyHistogram::new();
+    let mut mismatches = 0u64;
+    for (i, scheduled, p) in pending {
+        match p.wait() {
+            Ok(resp) => {
+                latency.record(ns(resp.completed_at.duration_since(scheduled)));
+                if resp.output != workload.cases[i % workload.cases.len()].1 {
+                    mismatches += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+
+    LoadReport {
+        label: format!("open-loop @{rate_hz:.0} req/s"),
+        completed: latency.count(),
+        mismatches,
+        dropped,
+        errors,
+        elapsed,
+        latency,
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::registry::ModelRegistry;
+    use std::sync::Arc;
+    use ucnn_core::compile::UcnnConfig;
+    use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
+
+    fn setup(workers: usize, queue_capacity: usize) -> (Engine, Vec<Case>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 31, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(32);
+        let cases: Vec<Case> = (0..3)
+            .map(|_| {
+                let input = agen.generate_for(&net.conv_layers()[0]);
+                let expected = forward::dense_forward(&net, &weights, &input);
+                (input, expected)
+            })
+            .collect();
+        let engine = Engine::start(
+            registry,
+            EngineConfig {
+                workers,
+                queue_capacity,
+                max_batch: 4,
+            },
+        );
+        (engine, cases)
+    }
+
+    #[test]
+    fn closed_loop_completes_and_verifies() {
+        let (engine, cases) = setup(2, 16);
+        let workload = Workload {
+            model: "tiny",
+            cases: &cases,
+        };
+        let report = closed_loop(&engine, &workload, 3, 4);
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.percentile_us(0.99) >= report.percentile_us(0.50));
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn open_loop_completes_and_verifies() {
+        let (engine, cases) = setup(2, 64);
+        let workload = Workload {
+            model: "tiny",
+            cases: &cases,
+        };
+        let report = open_loop(&engine, &workload, 500.0, 20);
+        assert_eq!(report.completed + report.dropped, 20);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.throughput_rps() > 0.0);
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn open_loop_overload_drops_instead_of_stalling() {
+        // 1 worker, capacity 1, very high rate: most requests must be
+        // dropped, none may block the dispatcher.
+        let (engine, cases) = setup(1, 1);
+        let workload = Workload {
+            model: "tiny",
+            cases: &cases,
+        };
+        let report = open_loop(&engine, &workload, 1_000_000.0, 50);
+        assert_eq!(report.completed + report.dropped, 50);
+        assert!(report.dropped > 0, "expected drops under overload");
+        assert_eq!(report.mismatches, 0);
+        let _ = engine.shutdown();
+    }
+}

@@ -1,0 +1,253 @@
+//! Bounded MPMC request queue with dynamic batching.
+//!
+//! Producers block when the queue is full (natural backpressure for
+//! closed-loop clients; open-loop generators use [`BoundedQueue::try_push`]
+//! and count drops). Consumers block until at least one item is available,
+//! then drain up to a batch limit in one critical section — the "dynamic
+//! batching" a serving engine wants: batches grow exactly as large as the
+//! backlog, with no added latency when traffic is light.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by pushes into a closed queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Closed;
+
+/// Error returned by [`BoundedQueue::try_push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryPushError {
+    /// The queue was at capacity.
+    Full,
+    /// The queue has been closed.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue safe for any number of producers and consumers.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signaled when items arrive or the queue closes (wakes consumers).
+    not_empty: Condvar,
+    /// Signaled when space frees up or the queue closes (wakes producers).
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of queued items.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues an item, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] if the queue is (or becomes) closed; the item is
+    /// returned inside the error-free path only.
+    pub fn push(&self, item: T) -> Result<(), Closed> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while !state.closed && state.items.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err(Closed);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues an item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryPushError::Full`] when at capacity (the caller counts a
+    /// drop) or [`TryPushError::Closed`] after shutdown.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a batch: blocks until at least one item is available, then
+    /// drains up to `max_batch` items. Returns `None` once the queue is
+    /// closed **and** drained — the worker shutdown signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    #[must_use]
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
+        assert!(max_batch > 0, "batch size must be positive");
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+        let n = state.items.len().min(max_batch);
+        let batch: Vec<T> = state.items.drain(..n).collect();
+        drop(state);
+        // Freed `n` slots; wake blocked producers (and peer consumers if
+        // items remain).
+        self.not_full.notify_all();
+        self.not_empty.notify_one();
+        Some(batch)
+    }
+
+    /// Closes the queue: subsequent pushes fail, consumers drain what is
+    /// left and then receive `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_batching() {
+        let q = BoundedQueue::new(16);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10).unwrap(), vec![3, 4]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn try_push_reports_full_then_drains() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(TryPushError::Full));
+        assert_eq!(q.pop_batch(8).unwrap(), vec![1, 2]);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err(Closed));
+        assert_eq!(q.try_push("b"), Err(TryPushError::Closed));
+        assert_eq!(q.pop_batch(4).unwrap(), vec!["a"]);
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(1).is_ok());
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop_batch(1).unwrap(), vec![0]);
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop_batch(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop_batch(4));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(batch) = q.pop_batch(5) {
+                    got.extend(batch);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 400);
+        all.dedup();
+        assert_eq!(all.len(), 400, "duplicated or lost items");
+    }
+}

@@ -1,0 +1,141 @@
+//! Model registry: compile once, serve many.
+//!
+//! Holds `Arc<CompiledNetwork>` plans by name. Registration pays the full
+//! sort/factorize cost; every lookup afterwards is a read-locked map access
+//! and an `Arc` clone — workers never copy plan data.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use ucnn_core::compile::UcnnConfig;
+use ucnn_core::plan::CompiledNetwork;
+use ucnn_model::NetworkSpec;
+use ucnn_tensor::Tensor4;
+
+/// A named collection of compiled networks shared by the serving engine.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_model::{forward, networks, QuantScheme};
+/// use ucnn_serve::ModelRegistry;
+///
+/// let registry = ModelRegistry::new();
+/// let net = networks::tiny();
+/// let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 1, 0.9);
+/// registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+/// assert!(registry.get("tiny").is_some());
+/// assert_eq!(registry.names(), vec!["tiny".to_string()]);
+/// ```
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<CompiledNetwork>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an already compiled network under its own name, returning
+    /// the shared handle (and replacing any previous model of that name).
+    pub fn insert(&self, model: CompiledNetwork) -> Arc<CompiledNetwork> {
+        let arc = Arc::new(model);
+        self.models
+            .write()
+            .expect("registry poisoned")
+            .insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Compiles `spec` with `weights` under `config` and registers it —
+    /// the one-time cost that [`ModelRegistry::get`] then amortizes.
+    pub fn compile_and_insert(
+        &self,
+        spec: &NetworkSpec,
+        weights: &[Tensor4<i16>],
+        config: &UcnnConfig,
+    ) -> Arc<CompiledNetwork> {
+        self.insert(CompiledNetwork::compile(spec, weights, config))
+    }
+
+    /// Looks up a model by name (cheap: read lock + `Arc` clone).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<CompiledNetwork>> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered model names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry poisoned").len()
+    }
+
+    /// Whether the registry holds no models.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucnn_model::{forward, networks, QuantScheme};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn registry_is_send_sync() {
+        assert_send_sync::<ModelRegistry>();
+        assert_send_sync::<Arc<CompiledNetwork>>();
+    }
+
+    #[test]
+    fn lookup_returns_the_same_plan() {
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 2, 0.9);
+        let inserted = registry.compile_and_insert(&net, &weights, &UcnnConfig::default());
+        let looked_up = registry.get("tiny").unwrap();
+        assert!(Arc::ptr_eq(&inserted, &looked_up), "lookup must not clone");
+        assert!(registry.get("missing").is_none());
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let w1 = forward::generate_network_weights(&net, QuantScheme::inq(), 3, 0.9);
+        let w2 = forward::generate_network_weights(&net, QuantScheme::inq(), 4, 0.9);
+        let a = registry.compile_and_insert(&net, &w1, &UcnnConfig::default());
+        let b = registry.compile_and_insert(&net, &w2, &UcnnConfig::default());
+        let current = registry.get("tiny").unwrap();
+        assert!(Arc::ptr_eq(&b, &current));
+        assert!(!Arc::ptr_eq(&a, &current));
+        assert_eq!(registry.len(), 1);
+    }
+}

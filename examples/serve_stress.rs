@@ -1,0 +1,112 @@
+//! Serving stress test: compile the tiny network once, then hammer the
+//! batched inference engine with closed-loop and fixed-rate open-loop
+//! traffic, verifying every response bit for bit against the dense
+//! reference.
+//!
+//! ```sh
+//! cargo run --release --example serve_stress -- [--quick] [--workers N] [--rate HZ]
+//! ```
+//!
+//! * `--quick` — small burst sizes (CI smoke configuration).
+//! * `--workers N` — worker thread count (default 4).
+//! * `--rate HZ` — open-loop arrival rate (default 200).
+//!
+//! Exits non-zero if any response mismatches the dense reference or if a
+//! run completes zero requests.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ucnn::core::compile::UcnnConfig;
+use ucnn::model::{forward, networks, ActivationGen, QuantScheme};
+use ucnn::serve::{loadgen, Engine, EngineConfig, LoadReport, ModelRegistry};
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn print_report(report: &LoadReport) {
+    println!(
+        "  {:<28} {:>7} ok  {:>4} bad  {:>4} dropped  {:>9.0} req/s  \
+         p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us",
+        report.label,
+        report.completed,
+        report.mismatches,
+        report.dropped,
+        report.throughput_rps(),
+        report.percentile_us(0.50),
+        report.percentile_us(0.95),
+        report.percentile_us(0.99),
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let workers = arg_value(&args, "--workers").unwrap_or(4);
+    let rate = arg_value(&args, "--rate").unwrap_or(200) as f64;
+    let (clients, iters, open_requests) = if quick { (2, 10, 40) } else { (8, 50, 400) };
+
+    // Compile once: the registry holds the immutable plan workers share.
+    let net = networks::tiny();
+    let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 0xC0FFEE, 0.9);
+    let registry = Arc::new(ModelRegistry::new());
+    let plan = registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+    println!(
+        "compiled '{}' once: {} stages, {} retained stream entries",
+        plan.name(),
+        plan.stages().len(),
+        plan.total_entries()
+    );
+
+    // Precompute dense-reference outputs so every response is verifiable.
+    let mut agen = ActivationGen::new(7);
+    let cases: Vec<loadgen::Case> = (0..8)
+        .map(|_| {
+            let input = agen.generate_for(&net.conv_layers()[0]);
+            let expected = forward::dense_forward(&net, &weights, &input);
+            (input, expected)
+        })
+        .collect();
+    let workload = loadgen::Workload {
+        model: "tiny",
+        cases: &cases,
+    };
+
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    println!("engine up: {workers} workers\n");
+
+    let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
+    print_report(&closed);
+    let open = loadgen::open_loop(&engine, &workload, rate, open_requests);
+    print_report(&open);
+
+    let stats = engine.shutdown();
+    println!(
+        "\nengine served {} requests in {} batches (mean batch {:.2})",
+        stats.served,
+        stats.batches,
+        stats.mean_batch()
+    );
+
+    let bad = closed.mismatches + open.mismatches + closed.errors + open.errors;
+    if bad > 0 {
+        eprintln!("FAIL: {bad} mismatched or failed responses");
+        return ExitCode::FAILURE;
+    }
+    if closed.completed == 0 || open.completed == 0 {
+        eprintln!("FAIL: a run completed zero requests");
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: every response bit-identical to the dense reference");
+    ExitCode::SUCCESS
+}

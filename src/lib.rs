@@ -2,7 +2,7 @@
 //!
 //! A full reproduction of *UCNN: Exploiting Computational Reuse in Deep
 //! Neural Networks via Weight Repetition* (Hegde et al., ISCA 2018) as a
-//! Rust library suite. This facade crate re-exports the four member crates:
+//! Rust library suite. This facade crate re-exports the member crates:
 //!
 //! | crate | contents |
 //! |-------|----------|
@@ -10,6 +10,7 @@
 //! | [`model`] | networks (LeNet/AlexNet/ResNet-50), quantization (INQ/TTQ/fixed), generators, reference convolution, repetition statistics |
 //! | [`core`] | **the paper's contribution**: dot-product factorization, activation-group reuse, indirection-table encodings, functional factorized executor |
 //! | [`sim`] | DCNN/DCNN_sp/UCNN processing-element and chip models: cycles, energy, area |
+//! | [`serve`] | compile-once batched inference engine: model registry, worker pool, closed/open-loop stress harness |
 //!
 //! # Example: factorize a layer and weigh it against the dense baseline
 //!
@@ -52,4 +53,9 @@ pub mod core {
 /// Accelerator simulator (re-export of `ucnn-sim`).
 pub mod sim {
     pub use ucnn_sim::*;
+}
+
+/// Serving engine and stress harness (re-export of `ucnn-serve`).
+pub mod serve {
+    pub use ucnn_serve::*;
 }
