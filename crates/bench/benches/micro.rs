@@ -14,7 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ucnn_core::compile::{compile_layer, UcnnConfig};
-use ucnn_core::exec::{factorized_conv, run_compiled};
+use ucnn_core::exec::{
+    factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads,
+};
 use ucnn_core::factorize::FilterFactorization;
 use ucnn_core::hierarchy::GroupStream;
 use ucnn_core::plan::CompiledLayer;
@@ -118,6 +120,40 @@ fn bench_retained_plan(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_batch_executor(c: &mut Criterion) {
+    // The acceptance bar for batch-major execution: at B >= 8 on an
+    // FC-shaped layer, one group-major walk serving the whole batch must be
+    // >= 2x the throughput of B per-request walks — stream decode, index
+    // gathers, and closure bookkeeping amortize across the batch while the
+    // per-image adds stay identical.
+    let geom = ConvGeom::new(1, 1, 1024, 32, 1, 1);
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 11).with_density(0.9);
+    let w = wgen.generate_dims(32, 1024, 1, 1);
+    let cfg = UcnnConfig::with_g(2);
+    let plan = CompiledLayer::compile(&geom, 1, &w, &cfg);
+    let mut agen = ActivationGen::new(12);
+    for batch in [8usize, 16] {
+        let inputs: Vec<_> = (0..batch).map(|_| agen.generate(1024, 1, 1)).collect();
+        let name = format!("fc_1024_to_32_batch{batch}");
+        let mut g = c.benchmark_group(&name);
+        g.bench_function("per_request_loop", |b| {
+            b.iter(|| {
+                inputs
+                    .iter()
+                    .map(|input| run_compiled(&plan, input))
+                    .collect::<Vec<_>>()
+            })
+        });
+        g.bench_function("batch_major", |b| {
+            b.iter(|| black_box(run_compiled_batch(&plan, &inputs)))
+        });
+        g.bench_function("batch_major_2_threads", |b| {
+            b.iter(|| black_box(run_compiled_batch_threads(&plan, &inputs, 2)))
+        });
+        g.finish();
+    }
+}
+
 criterion_group!(
     micro,
     bench_dot_products,
@@ -126,5 +162,6 @@ criterion_group!(
     bench_layer_compile,
     bench_conv_executors,
     bench_retained_plan,
+    bench_batch_executor,
 );
 criterion_main!(micro);

@@ -1,15 +1,17 @@
 //! `repro` — regenerates every table and figure of the UCNN evaluation.
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--out DIR]
+//! repro <experiment>... [--quick] [--batch] [--out DIR]
 //!
 //! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
-//!              table3 ablations serve all
+//!              table3 ablations serve batch all
 //! ```
 //!
 //! `--quick` shrinks networks/sweeps (used by CI and Criterion); the default
-//! runs the full configuration recorded in EXPERIMENTS.md. With `--out DIR`
-//! every table is also written as `DIR/<experiment>.csv`.
+//! runs the full configuration recorded in EXPERIMENTS.md. `--batch` appends
+//! the batch-major executor comparison (`repro serve --batch` prints the
+//! serving tables plus the per-request vs batch-major throughput table).
+//! With `--out DIR` every table is also written as `DIR/<experiment>.csv`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +33,7 @@ const ALL: &[&str] = &[
     "table3",
     "ablations",
     "serve",
+    "batch",
 ];
 
 fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
@@ -56,6 +59,7 @@ fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
             experiments::serve(quick),
             experiments::compile_amortization(quick),
         ],
+        "batch" => vec![experiments::batch_exec(quick)],
         _ => return None,
     };
     Some(tables)
@@ -78,6 +82,10 @@ fn main() -> ExitCode {
         .collect();
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = ALL.iter().map(|s| (*s).to_string()).collect();
+    }
+    // `repro serve --batch` appends the batch-major executor comparison.
+    if args.iter().any(|a| a == "--batch") && !selected.iter().any(|s| s == "batch") {
+        selected.push("batch".to_string());
     }
 
     if let Some(dir) = &out_dir {

@@ -712,6 +712,7 @@ pub fn serve(quick: bool) -> TableOut {
             "p95_us",
             "p99_us",
             "mean_batch",
+            "p90_batch",
         ],
     );
     for &workers in worker_counts {
@@ -754,6 +755,7 @@ pub fn serve(quick: bool) -> TableOut {
                 f2(report.percentile_us(0.95)),
                 f2(report.percentile_us(0.99)),
                 f2(stats.mean_batch()),
+                stats.batch_percentile(0.9).to_string(),
             ]);
         }
     }
@@ -822,6 +824,96 @@ pub fn compile_amortization(quick: bool) -> TableOut {
                 repeats.to_string(),
                 f2(us),
                 f2(fact_us / us),
+            ]);
+        }
+    }
+    t
+}
+
+/// Batch-major execution: per-request vs batch-major vs threaded batch-major
+/// throughput on FC- and conv-shaped layers across batch sizes. The walk
+/// amortization is the whole story: one group-major traversal of the
+/// retained streams serves every image of the batch, so per-image time
+/// drops as B grows while outputs stay bit-identical (asserted per cell).
+#[must_use]
+pub fn batch_exec(quick: bool) -> TableOut {
+    use std::time::Instant;
+    use ucnn_core::exec::{run_compiled_batch, run_compiled_batch_threads};
+    use ucnn_model::ActivationGen;
+    use ucnn_tensor::{ConvGeom, Tensor3};
+
+    let (fc_c, conv_c, repeats) = if quick { (512, 16, 3) } else { (1024, 64, 10) };
+    let batches: &[usize] = if quick { &[2, 8] } else { &[1, 2, 8, 16] };
+    let layers = [
+        ("fc 1x1", ConvGeom::new(1, 1, fc_c, 32, 1, 1)),
+        (
+            "conv 7x7",
+            ConvGeom::new(7, 7, conv_c, 16, 3, 3).with_pad(1),
+        ),
+    ];
+    let cfg = UcnnConfig::with_g(2);
+
+    let mut t = TableOut::new(
+        "Batch-major execution: per-request vs one shared stream walk",
+        &[
+            "layer",
+            "batch",
+            "per_request_us",
+            "batch_major_us",
+            "speedup",
+            "threaded_us(t=2)",
+        ],
+    );
+    for (name, geom) in layers {
+        let mut wgen = WeightGen::new(QuantScheme::inq(), SEED ^ 0xB1).with_density(0.9);
+        let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+        let plan = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+        let mut agen = ActivationGen::new(SEED ^ 0xB2);
+        for &b in batches {
+            let inputs: Vec<Tensor3<i16>> = (0..b)
+                .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
+                .collect();
+
+            let t_seq = Instant::now();
+            let mut sequential = Vec::new();
+            for _ in 0..repeats {
+                sequential = inputs
+                    .iter()
+                    .map(|i| run_compiled(&plan, i))
+                    .collect::<Vec<_>>();
+                std::hint::black_box(&sequential);
+            }
+            let seq_us = t_seq.elapsed().as_secs_f64() * 1e6 / (repeats * b) as f64;
+
+            let t_batch = Instant::now();
+            let mut batched = Vec::new();
+            for _ in 0..repeats {
+                batched = run_compiled_batch(&plan, &inputs);
+                std::hint::black_box(&batched);
+            }
+            let batch_us = t_batch.elapsed().as_secs_f64() * 1e6 / (repeats * b) as f64;
+
+            let t_thr = Instant::now();
+            let mut threaded = Vec::new();
+            for _ in 0..repeats {
+                threaded = run_compiled_batch_threads(&plan, &inputs, 2);
+                std::hint::black_box(&threaded);
+            }
+            let thr_us = t_thr.elapsed().as_secs_f64() * 1e6 / (repeats * b) as f64;
+
+            assert_eq!(
+                sequential, batched,
+                "batch-major output diverged from per-request"
+            );
+            assert_eq!(sequential, threaded, "threaded output diverged");
+
+            t.push_row(vec![
+                name.to_string(),
+                b.to_string(),
+                f2(seq_us),
+                f2(batch_us),
+                f2(seq_us / batch_us),
+                f2(thr_us),
             ]);
         }
     }
@@ -953,6 +1045,19 @@ mod tests {
             "retained plan ({fc_compiled} us) must beat per-call \
              factorization ({fc_fact} us) on the fc layer"
         );
+    }
+
+    #[test]
+    fn batch_exec_outputs_bit_exact_and_table_shaped() {
+        // Timing is machine-dependent, so the test pins the structure and
+        // the (internally asserted) bit-exactness, not the speedup.
+        let t = batch_exec(true);
+        assert_eq!(t.rows.len(), 4); // 2 layers x 2 batch sizes
+        for row in &t.rows {
+            assert!(row[2].parse::<f64>().unwrap() > 0.0, "{row:?}");
+            assert!(row[3].parse::<f64>().unwrap() > 0.0, "{row:?}");
+            assert!(row[4].parse::<f64>().unwrap() > 0.0, "{row:?}");
+        }
     }
 
     #[test]

@@ -164,6 +164,359 @@ pub fn run_compiled(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32>
     out
 }
 
+/// Executes a [`CompiledLayer`] over a whole batch of inputs, batch-major —
+/// the serving hot path under load.
+///
+/// [`run_compiled`] walks every retained stream once **per image**, so a
+/// batch of `B` inferences re-reads the same indirection tables `B` times.
+/// This function inverts the loop nest (group-major over the batch instead
+/// of image-major over the groups): each stream entry is decoded to input
+/// coordinates exactly once, and the gathered activation feeds all `B`
+/// images' accumulators before the walk advances. Stream decode, index
+/// arithmetic, and group-closure bookkeeping are thereby amortized across
+/// the batch — the software analogue of the paper's premise that reuse
+/// structures pay off when their traversal cost is shared (§IV).
+///
+/// Outputs are **bit-identical** to `B` independent [`run_compiled`] calls:
+/// per image, the same additions and multiplies happen in the same order.
+///
+/// # Panics
+///
+/// Panics if any input does not match the compiled layer's geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::exec::{run_compiled, run_compiled_batch};
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+///
+/// let geom = ConvGeom::new(5, 5, 3, 2, 3, 3);
+/// let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, r, s| ((k + c + r + s) % 3) as i16);
+/// let layer = CompiledLayer::compile(&geom, 1, &filters, &UcnnConfig::with_g(2));
+/// let inputs: Vec<Tensor3<i16>> = (0..4)
+///     .map(|b| Tensor3::from_fn(3, 5, 5, |c, x, y| ((b + c + x + 2 * y) % 7) as i16))
+///     .collect();
+/// let batched = run_compiled_batch(&layer, &inputs);
+/// for (input, out) in inputs.iter().zip(&batched) {
+///     assert_eq!(out, &run_compiled(&layer, input)); // one walk served all four
+/// }
+/// ```
+#[must_use]
+pub fn run_compiled_batch(layer: &CompiledLayer, inputs: &[Tensor3<i16>]) -> Vec<Tensor3<i32>> {
+    check_batch_inputs(layer, inputs);
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    // A batch of one gains nothing from amortization but would pay the
+    // batched kernel's scratch indirection; the scalar walk is the same
+    // arithmetic, so light-load latency stays unregressed.
+    if let [input] = inputs {
+        return vec![run_compiled(layer, input)];
+    }
+    let geom = layer.geom();
+    let (out_w, out_h) = (geom.out_w(), geom.out_h());
+    let rs = geom.r() * geom.s();
+    let s_dim = geom.s();
+    let stride = geom.stride() as isize;
+    let pad = geom.pad() as isize;
+
+    let mut outs: Vec<Tensor3<i32>> = inputs
+        .iter()
+        .map(|_| Tensor3::zeros(geom.k(), out_w, out_h))
+        .collect();
+    let mut out_slices: Vec<&mut [i32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
+    for tile in layer.tiles() {
+        accumulate_tile_batch(
+            tile.stream(),
+            inputs,
+            &mut out_slices,
+            tile.k_first(),
+            tile.c_first(),
+            rs,
+            s_dim,
+            stride,
+            pad,
+            out_w,
+            out_h,
+        );
+    }
+    outs
+}
+
+/// One independently executable slice of a layer: all channel tiles of one
+/// filter group, writing a contiguous output-channel band.
+struct FilterBand {
+    /// First output channel of the band.
+    k_lo: usize,
+    /// Output channels the band produces (the group's stream width).
+    channels: usize,
+    /// Index range into [`CompiledLayer::tiles`].
+    tiles: std::ops::Range<usize>,
+}
+
+/// Splits the plan's tiles into filter bands: tiles sharing a `k_first`
+/// write disjoint, contiguous output-channel ranges, so bands can execute
+/// on different threads without synchronizing on the output tensor.
+fn filter_bands(layer: &CompiledLayer) -> Vec<FilterBand> {
+    let tiles = layer.tiles();
+    let mut bands: Vec<FilterBand> = Vec::new();
+    for (i, tile) in tiles.iter().enumerate() {
+        match bands.last_mut() {
+            Some(band) if band.k_lo == tile.k_first() => band.tiles.end = i + 1,
+            _ => bands.push(FilterBand {
+                k_lo: tile.k_first(),
+                channels: tile.stream().g(),
+                tiles: i..i + 1,
+            }),
+        }
+    }
+    debug_assert!(
+        bands
+            .windows(2)
+            .all(|w| w[0].k_lo + w[0].channels == w[1].k_lo),
+        "filter bands must tile the output channels contiguously"
+    );
+    bands
+}
+
+/// [`run_compiled_batch`] parallelized across filter bands × batch chunks
+/// with scoped threads.
+///
+/// Work is split into (filter band × batch chunk) units that write disjoint
+/// output regions, distributed round-robin over at most `threads` scoped
+/// worker threads. Because each image's arithmetic is untouched by the
+/// partitioning, results are **bit-identical at every thread count** — the
+/// determinism tests in `tests/batch_determinism.rs` pin this down.
+///
+/// `threads == 1` is exactly [`run_compiled_batch`] (no threads spawned).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, if any input mismatches the layer geometry, or
+/// if a worker thread panics.
+#[must_use]
+pub fn run_compiled_batch_threads(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    threads: usize,
+) -> Vec<Tensor3<i32>> {
+    assert!(threads > 0, "need at least one execution thread");
+    // Serial execution and batches of ≤ 1 spawn nothing: run_compiled_batch
+    // also routes a single image to the scalar walk, so light-load latency
+    // is unaffected by the exec-thread knob.
+    if threads == 1 || inputs.len() <= 1 {
+        return run_compiled_batch(layer, inputs);
+    }
+    check_batch_inputs(layer, inputs);
+    let geom = layer.geom();
+    let (out_w, out_h) = (geom.out_w(), geom.out_h());
+    let rs = geom.r() * geom.s();
+    let s_dim = geom.s();
+    let stride = geom.stride() as isize;
+    let pad = geom.pad() as isize;
+    let plane = out_w * out_h;
+    let b = inputs.len();
+
+    let bands = filter_bands(layer);
+    // Enough batch chunks to keep every thread busy even when the layer has
+    // few filter bands (e.g. a two-group FC head).
+    let chunks = threads.div_ceil(bands.len()).min(b);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut lo = 0usize;
+    for ci in 0..chunks {
+        let hi = lo + (b - lo) / (chunks - ci);
+        ranges.push(lo..hi.max(lo + 1));
+        lo = ranges.last().expect("just pushed").end;
+    }
+    debug_assert_eq!(lo, b);
+
+    let mut outs: Vec<Tensor3<i32>> = inputs
+        .iter()
+        .map(|_| Tensor3::zeros(geom.k(), out_w, out_h))
+        .collect();
+
+    // Slice every output tensor into per-band contiguous channel runs
+    // (storage is row-major over (c, x, y), so a channel band is one slice).
+    let mut by_band: Vec<Vec<&mut [i32]>> = bands.iter().map(|_| Vec::with_capacity(b)).collect();
+    for out in &mut outs {
+        let mut rest: &mut [i32] = out.as_mut_slice();
+        for (bi, band) in bands.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(band.channels * plane);
+            by_band[bi].push(head);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    // One work item per (band × batch chunk); each owns its output slices.
+    struct Item<'a> {
+        tiles: &'a [crate::plan::CompiledTile],
+        inputs: &'a [Tensor3<i16>],
+        outs: Vec<&'a mut [i32]>,
+        k_lo: usize,
+    }
+    let mut items = Vec::with_capacity(bands.len() * chunks);
+    for (band, mut slices) in bands.iter().zip(by_band) {
+        for range in &ranges {
+            let rest = slices.split_off(range.len());
+            items.push(Item {
+                tiles: &layer.tiles()[band.tiles.clone()],
+                inputs: &inputs[range.clone()],
+                outs: slices,
+                k_lo: band.k_lo,
+            });
+            slices = rest;
+        }
+    }
+
+    let workers = threads.min(items.len());
+    let mut buckets: Vec<Vec<Item<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    for mut item in bucket {
+                        for tile in item.tiles {
+                            accumulate_tile_batch(
+                                tile.stream(),
+                                item.inputs,
+                                &mut item.outs,
+                                tile.k_first() - item.k_lo,
+                                tile.c_first(),
+                                rs,
+                                s_dim,
+                                stride,
+                                pad,
+                                out_w,
+                                out_h,
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("batch executor thread panicked");
+        }
+    });
+    outs
+}
+
+/// Asserts every batch input matches the compiled layer's geometry.
+fn check_batch_inputs(layer: &CompiledLayer, inputs: &[Tensor3<i16>]) {
+    let geom = layer.geom();
+    let channels = geom.c() * layer.conv_groups();
+    for input in inputs {
+        assert_eq!(input.c(), channels, "input channel mismatch");
+        assert!(
+            input.w() == geom.in_w() && input.h() == geom.in_h(),
+            "input plane mismatch"
+        );
+    }
+}
+
+/// Batch-major core: walks one stream once per output position and feeds
+/// every image's accumulators from the single decoded entry. `outs` holds
+/// per-image output slices; this tile's filters land at local channels
+/// `k_offset..k_offset + G` of each slice.
+///
+/// Per image, the arithmetic is operation-for-operation identical to
+/// [`accumulate_tile`], which is what makes batched results bit-exact.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile_batch(
+    stream: &GroupStream,
+    inputs: &[Tensor3<i16>],
+    outs: &mut [&mut [i32]],
+    k_offset: usize,
+    c_first: usize,
+    rs: usize,
+    s_dim: usize,
+    stride: isize,
+    pad: isize,
+    out_w: usize,
+    out_h: usize,
+) {
+    let b = inputs.len();
+    debug_assert_eq!(outs.len(), b);
+    let g = stream.g();
+    let canonical = stream.canonical();
+    let n = stream.entry_count();
+    let (in_w, in_h) = (inputs[0].w(), inputs[0].h());
+    let in_slices: Vec<&[i16]> = inputs.iter().map(Tensor3::as_slice).collect();
+
+    let mut psum = vec![0i32; g * b];
+    let mut reg = vec![0i32; g.saturating_sub(1) * b];
+    let mut acc = vec![0i32; b];
+    let mut carry = vec![0i32; b];
+
+    for x in 0..out_w {
+        for y in 0..out_h {
+            psum.fill(0);
+            reg.fill(0);
+            acc.fill(0);
+            for i in 0..n {
+                let e = stream.entry(i);
+                let p = e.index as usize;
+                let c = p / rs;
+                let rem = p % rs;
+                let r = rem / s_dim;
+                let s = rem % s_dim;
+                let ix = x as isize * stride + r as isize - pad;
+                let iy = y as isize * stride + s as isize - pad;
+                // Decode once, gather for all B images. Padding halo reads
+                // are zero and add nothing, so the whole batch skips them.
+                if ix >= 0 && iy >= 0 && (ix as usize) < in_w && (iy as usize) < in_h {
+                    let off = ((c_first + c) * in_w + ix as usize) * in_h + iy as usize;
+                    for (a, img) in acc.iter_mut().zip(&in_slices) {
+                        *a += i32::from(img[off]);
+                    }
+                }
+                let Some(cl) = e.close_level else { continue };
+                let l = cl as usize;
+                carry.copy_from_slice(&acc);
+                acc.fill(0);
+                for level in (l..g).rev() {
+                    if level < g - 1 {
+                        let regs = &mut reg[level * b..(level + 1) * b];
+                        for (rg, t) in regs.iter_mut().zip(carry.iter_mut()) {
+                            *rg += *t;
+                            *t = *rg;
+                            *rg = 0;
+                        }
+                    }
+                    let rank = e.ranks[level];
+                    if rank != ZERO_RANK {
+                        let weight = i32::from(canonical[rank as usize]);
+                        let sums = &mut psum[level * b..(level + 1) * b];
+                        for (ps, &t) in sums.iter_mut().zip(carry.iter()) {
+                            *ps += t * weight;
+                        }
+                    }
+                }
+                if l > 0 {
+                    let regs = &mut reg[(l - 1) * b..l * b];
+                    for (rg, &t) in regs.iter_mut().zip(carry.iter()) {
+                        *rg += t;
+                    }
+                }
+            }
+            for level in 0..g {
+                let off = ((k_offset + level) * out_w + x) * out_h + y;
+                for (out, &ps) in outs.iter_mut().zip(&psum[level * b..(level + 1) * b]) {
+                    out[off] += ps;
+                }
+            }
+        }
+    }
+}
+
 /// Walks one stream for every output position, adding the `G` partial sums
 /// into the output tensor. Reproduces the Figure 6/7 accumulator semantics
 /// (see [`GroupStream::dot_group`]) with the tile position decoded to input
@@ -286,6 +639,24 @@ mod tests {
             out,
             "run_compiled diverged from factorized_conv"
         );
+        // The batch-major paths must agree with per-image execution, at
+        // every thread count.
+        let inputs: Vec<Tensor3<i16>> = std::iter::once(input)
+            .chain((0..2).map(|_| agen.generate(geom.c() * conv_groups, geom.in_w(), geom.in_h())))
+            .collect();
+        let expected: Vec<Tensor3<i32>> = inputs.iter().map(|i| run_compiled(&layer, i)).collect();
+        assert_eq!(
+            run_compiled_batch(&layer, &inputs),
+            expected,
+            "run_compiled_batch diverged from sequential run_compiled"
+        );
+        for threads in [2, 3] {
+            assert_eq!(
+                run_compiled_batch_threads(&layer, &inputs, threads),
+                expected,
+                "run_compiled_batch_threads({threads}) diverged"
+            );
+        }
     }
 
     #[test]
@@ -376,6 +747,55 @@ mod tests {
             4,
             9,
         );
+    }
+
+    #[test]
+    fn batch_of_one_and_empty_batch() {
+        let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 40).with_density(0.8);
+        let weights = wgen.generate_dims(4, 4, 3, 3);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(41);
+        let input = agen.generate(4, 6, 6);
+        let batch = run_compiled_batch(&layer, std::slice::from_ref(&input));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0], run_compiled(&layer, &input));
+        assert!(run_compiled_batch(&layer, &[]).is_empty());
+        assert!(run_compiled_batch_threads(&layer, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn batch_threads_exceeding_work_still_exact() {
+        // More threads than (bands × images): excess threads idle, results
+        // unchanged.
+        let geom = ConvGeom::new(5, 5, 3, 2, 3, 3);
+        let mut wgen = WeightGen::new(QuantScheme::ttq(), 42).with_density(0.6);
+        let weights = wgen.generate_dims(2, 3, 3, 3);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(43);
+        let inputs: Vec<Tensor3<i16>> = (0..2).map(|_| agen.generate(3, 5, 5)).collect();
+        let expected: Vec<Tensor3<i32>> = inputs.iter().map(|i| run_compiled(&layer, i)).collect();
+        assert_eq!(run_compiled_batch_threads(&layer, &inputs, 16), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "input plane mismatch")]
+    fn batch_rejects_mismatched_input() {
+        let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+        let weights = Tensor4::from_fn(4, 4, 3, 3, |_, _, _, _| 1i16);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::default());
+        let good = Tensor3::filled(4, 6, 6, 1i16);
+        let bad = Tensor3::filled(4, 5, 5, 1i16);
+        let _ = run_compiled_batch(&layer, &[good, bad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one execution thread")]
+    fn batch_rejects_zero_threads() {
+        let geom = ConvGeom::new(4, 4, 2, 2, 3, 3);
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 1i16);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::default());
+        let _ = run_compiled_batch_threads(&layer, &[], 0);
     }
 
     #[test]

@@ -23,7 +23,6 @@ use ucnn_model::{reference, LayerKind, NetworkSpec, PoolKind};
 use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
 
 use crate::compile::{canonical_of_tensor, UcnnConfig};
-use crate::exec::run_compiled;
 use crate::hierarchy::GroupStream;
 
 /// One retained work unit of a compiled layer: the stream for a group of
@@ -330,33 +329,91 @@ impl CompiledNetwork {
     /// Panics if `input` does not match [`CompiledNetwork::input_dims`].
     #[must_use]
     pub fn forward(&self, input: &Tensor3<i16>) -> Tensor3<i32> {
-        assert_eq!(
-            (input.c(), input.w(), input.h()),
-            self.input_dims,
-            "input dims do not match the compiled network"
-        );
+        // One stage-walking loop serves every entry point: a batch of one
+        // routes through the scalar stream walk inside run_compiled_batch,
+        // so this stays the zero-overhead single-image path.
+        self.forward_batch(std::slice::from_ref(input))
+            .pop()
+            .expect("a batch of one produces one output")
+    }
+
+    /// Runs a whole batch of inferences batch-major: every compiled layer's
+    /// retained streams are walked **once** for the entire batch (via
+    /// [`run_compiled_batch`](crate::exec::run_compiled_batch)), instead of
+    /// once per image as a [`CompiledNetwork::forward`] loop would.
+    ///
+    /// Bit-identical to calling [`CompiledNetwork::forward`] on each input
+    /// independently; an empty batch returns an empty vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input does not match [`CompiledNetwork::input_dims`].
+    #[must_use]
+    pub fn forward_batch(&self, inputs: &[Tensor3<i16>]) -> Vec<Tensor3<i32>> {
+        self.forward_batch_threads(inputs, 1)
+    }
+
+    /// [`CompiledNetwork::forward_batch`] with the convolution stages
+    /// parallelized over `threads` scoped worker threads (see
+    /// [`run_compiled_batch_threads`](crate::exec::run_compiled_batch_threads)).
+    ///
+    /// Results are bit-identical at every thread count; `threads == 1`
+    /// spawns nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any input mismatches
+    /// [`CompiledNetwork::input_dims`].
+    #[must_use]
+    pub fn forward_batch_threads(
+        &self,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        assert!(threads > 0, "need at least one execution thread");
+        for input in inputs {
+            assert_eq!(
+                (input.c(), input.w(), input.h()),
+                self.input_dims,
+                "input dims do not match the compiled network"
+            );
+        }
+        if inputs.is_empty() {
+            return Vec::new();
+        }
         let last = self.stages.len() - 1;
-        let mut act = input.clone();
+        let mut acts: Vec<Tensor3<i16>> = inputs.to_vec();
         for (si, stage) in self.stages.iter().enumerate() {
             match stage {
                 CompiledStage::Conv { layer, is_fc, .. } => {
                     if *is_fc {
-                        act = ucnn_model::forward::flatten_for_fc(act, layer.geom().c());
+                        acts = acts
+                            .into_iter()
+                            .map(|a| ucnn_model::forward::flatten_for_fc(a, layer.geom().c()))
+                            .collect();
                     }
-                    let out = run_compiled(layer, &act);
+                    let outs = crate::exec::run_compiled_batch_threads(layer, &acts, threads);
                     if si == last {
-                        return out;
+                        return outs;
                     }
-                    act = reference::relu_saturate(&out);
+                    acts = outs.iter().map(reference::relu_saturate).collect();
                 }
                 CompiledStage::Pool {
                     kind, size, stride, ..
                 } => {
-                    act = reference::pool2d(&act, *kind, *size, *stride);
+                    acts = acts
+                        .iter()
+                        .map(|a| reference::pool2d(a, *kind, *size, *stride))
+                        .collect();
                     if si == last {
-                        return Tensor3::from_fn(act.c(), act.w(), act.h(), |c, x, y| {
-                            i32::from(act[(c, x, y)])
-                        });
+                        return acts
+                            .iter()
+                            .map(|a| {
+                                Tensor3::from_fn(a.c(), a.w(), a.h(), |c, x, y| {
+                                    i32::from(a[(c, x, y)])
+                                })
+                            })
+                            .collect();
                     }
                 }
             }
@@ -456,6 +513,36 @@ mod tests {
                 "compiled network diverged from dense forward"
             );
         }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_image_forward() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 31, 0.85);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(32);
+        let inputs: Vec<_> = (0..5)
+            .map(|_| agen.generate_for(&net.conv_layers()[0]))
+            .collect();
+        let expected: Vec<_> = inputs.iter().map(|i| compiled.forward(i)).collect();
+        assert_eq!(compiled.forward_batch(&inputs), expected);
+        for threads in [2, 4] {
+            assert_eq!(
+                compiled.forward_batch_threads(&inputs, threads),
+                expected,
+                "forward_batch_threads({threads}) diverged"
+            );
+        }
+        assert!(compiled.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dims do not match")]
+    fn forward_batch_rejects_wrong_input_shape() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 4, 0.9);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::default());
+        let _ = compiled.forward_batch(&[Tensor3::filled(3, 5, 5, 1i16)]);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Scheduling-determinism suite: batched execution must be bit-identical
+//! across thread counts — 1 vs 2 vs the machine's maximum — so that thread
+//! scheduling nondeterminism can never leak into served results.
+//!
+//! This holds by construction (work units partition the output tensor and
+//! each image's arithmetic is untouched by the partitioning), but it is the
+//! load-bearing guarantee of the serving stack's "bit-exact responses"
+//! promise, so CI pins it down at every push.
+
+use ucnn_core::compile::UcnnConfig;
+use ucnn_core::exec::{run_compiled, run_compiled_batch, run_compiled_batch_threads};
+use ucnn_core::plan::{CompiledLayer, CompiledNetwork};
+use ucnn_model::{forward, networks, ActivationGen, QuantScheme, WeightGen};
+use ucnn_tensor::{ConvGeom, Tensor3};
+
+/// Thread counts exercised everywhere: serial, two, and the larger of the
+/// machine's parallelism and 4 (so the "max" case splits work even on
+/// single-core CI runners).
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(4);
+    vec![1, 2, max]
+}
+
+#[test]
+fn layer_batch_bit_identical_across_thread_counts() {
+    // A shape with several filter bands AND ragged channel tiles, so the
+    // band × chunk partitioning is non-trivial at every thread count.
+    let geom = ConvGeom::new(9, 8, 10, 7, 3, 3).with_stride(2).with_pad(1);
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 101).with_density(0.7);
+    let weights = wgen.generate_dims(7, 10, 3, 3);
+    let cfg = UcnnConfig {
+        g: 2,
+        ct: 4,
+        ..UcnnConfig::default()
+    };
+    let layer = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+    let mut agen = ActivationGen::new(102);
+    for b in [1usize, 2, 7, 16] {
+        let inputs: Vec<Tensor3<i16>> = (0..b).map(|_| agen.generate(10, 9, 8)).collect();
+        let expected: Vec<Tensor3<i32>> = inputs.iter().map(|i| run_compiled(&layer, i)).collect();
+        assert_eq!(
+            run_compiled_batch(&layer, &inputs),
+            expected,
+            "batch-major diverged from sequential at B = {b}"
+        );
+        for threads in thread_counts() {
+            assert_eq!(
+                run_compiled_batch_threads(&layer, &inputs, threads),
+                expected,
+                "B = {b}, threads = {threads}: scheduling leaked into results"
+            );
+        }
+    }
+}
+
+#[test]
+fn network_forward_batch_bit_identical_across_thread_counts() {
+    let net = networks::tiny();
+    let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 103, 0.85);
+    let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+    let mut agen = ActivationGen::new(104);
+    let inputs: Vec<Tensor3<i16>> = (0..8)
+        .map(|_| agen.generate_for(&net.conv_layers()[0]))
+        .collect();
+
+    // Ground truth twice over: the per-image compiled forward AND the dense
+    // reference forward.
+    let expected: Vec<Tensor3<i32>> = inputs.iter().map(|i| compiled.forward(i)).collect();
+    for (input, want) in inputs.iter().zip(&expected) {
+        assert_eq!(
+            &forward::dense_forward(&net, &weights, input),
+            want,
+            "compiled forward diverged from dense reference"
+        );
+    }
+
+    let serial = compiled.forward_batch(&inputs);
+    assert_eq!(serial, expected, "forward_batch diverged from per-image");
+    for threads in thread_counts() {
+        assert_eq!(
+            compiled.forward_batch_threads(&inputs, threads),
+            expected,
+            "threads = {threads}: batched network forward not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn repeated_threaded_runs_are_stable() {
+    // Same plan, same inputs, many runs at an oversubscribed thread count:
+    // every run must produce the same bits (no run-to-run scheduling drift).
+    let geom = ConvGeom::new(6, 6, 8, 6, 3, 3).with_pad(1);
+    let mut wgen = WeightGen::new(QuantScheme::ttq(), 105).with_density(0.6);
+    let weights = wgen.generate_dims(6, 8, 3, 3);
+    let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(3));
+    let mut agen = ActivationGen::new(106);
+    let inputs: Vec<Tensor3<i16>> = (0..5).map(|_| agen.generate(8, 6, 6)).collect();
+    let first = run_compiled_batch_threads(&layer, &inputs, 8);
+    for run in 1..6 {
+        assert_eq!(
+            run_compiled_batch_threads(&layer, &inputs, 8),
+            first,
+            "run {run} differed from run 0"
+        );
+    }
+}

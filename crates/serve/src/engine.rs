@@ -7,6 +7,13 @@
 //! Each worker drains the queue in dynamic batches: under light load a
 //! batch is a single request (no added latency), under backlog it grows up
 //! to the configured limit, amortizing queue synchronization.
+//!
+//! A drained batch is grouped by model and each group executes as **one
+//! batch-major forward** ([`CompiledNetwork::forward_batch_threads`]): the
+//! retained streams are walked once for the whole group instead of once per
+//! request, and [`EngineConfig::exec_threads`] optionally parallelizes that
+//! single forward across scoped threads. Responses stay bit-identical to
+//! per-request execution at every batch size and thread count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -28,6 +35,15 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Maximum requests a worker drains per batch.
     pub max_batch: usize,
+    /// Scoped threads each worker uses *inside* one batched forward (`≥ 1`).
+    ///
+    /// `workers` scales across independent batches; `exec_threads` scales a
+    /// single batch's layer execution across filter bands and batch chunks.
+    /// On a machine with `P` cores, `workers × exec_threads ≈ P` is the
+    /// natural operating point: many workers for many small batches (low
+    /// latency), few workers with several exec threads for large batches
+    /// (high throughput per batch).
+    pub exec_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +52,7 @@ impl Default for EngineConfig {
             workers: 4,
             queue_capacity: 256,
             max_batch: 8,
+            exec_threads: 1,
         }
     }
 }
@@ -73,9 +90,10 @@ pub struct ServeResponse {
     pub output: Tensor3<i32>,
     /// Time spent queued before a worker picked the request up.
     pub queue_ns: u64,
-    /// Time the worker spent executing the forward pass.
+    /// Time the worker spent executing the batched forward this request
+    /// rode in (shared by every request of the batch).
     pub service_ns: u64,
-    /// Size of the batch this request was served in.
+    /// Number of same-model requests served by that single batched forward.
     pub batch_size: usize,
     /// Index of the worker that served it.
     pub worker: usize,
@@ -107,23 +125,51 @@ struct Request {
     tx: mpsc::Sender<ServeResponse>,
 }
 
-#[derive(Default)]
 struct Counters {
     served: AtomicU64,
     batches: AtomicU64,
+    /// `batch_sizes[s]` counts executed batches of exactly `s` requests
+    /// (index 0 unused; sizes are clamped to `max_batch`).
+    batch_sizes: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(max_batch: usize) -> Self {
+        Self {
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_sizes: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.served.fetch_add(size as u64, Ordering::Relaxed);
+        let idx = size.min(self.batch_sizes.len() - 1);
+        self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Aggregate engine counters returned by [`Engine::shutdown`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Besides the request/batch totals, the full per-batch size distribution
+/// is retained so batch formation under load is observable: a mean near 1
+/// with a heavy tail says workers mostly idle-poll, a mass at
+/// [`EngineConfig::max_batch`] says the queue is saturated and batches are
+/// clipped.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineStats {
     /// Requests served across all workers.
     pub served: u64,
-    /// Batches executed across all workers.
+    /// Batched forwards executed across all workers (one per model group).
     pub batches: u64,
+    /// `batch_size_counts[s]` = number of batched forwards that served
+    /// exactly `s` requests. Index 0 is unused.
+    pub batch_size_counts: Vec<u64>,
 }
 
 impl EngineStats {
-    /// Mean dynamic batch size (1.0 when idle-polling dominated).
+    /// Mean dynamic batch size (0.0 when nothing was served).
     #[must_use]
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
@@ -131,6 +177,39 @@ impl EngineStats {
         } else {
             self.served as f64 / self.batches as f64
         }
+    }
+
+    /// Largest batch actually executed (0 when nothing was served).
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        self.batch_size_counts
+            .iter()
+            .rposition(|&count| count > 0)
+            .unwrap_or(0)
+    }
+
+    /// Batch-size quantile over executed batches: the smallest size `s`
+    /// such that at least `q` of all batches had size `≤ s`. Returns 0 when
+    /// nothing was served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn batch_percentile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.batches == 0 {
+            return 0;
+        }
+        let rank = ((q * self.batches as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (size, &count) in self.batch_size_counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return size;
+            }
+        }
+        self.max_batch()
     }
 }
 
@@ -173,16 +252,19 @@ impl Engine {
     #[must_use]
     pub fn start(registry: Arc<ModelRegistry>, config: EngineConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
+        assert!(config.exec_threads > 0, "need at least one exec thread");
+        assert!(config.max_batch > 0, "need a positive max batch");
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters::new(config.max_batch));
         let workers = (0..config.workers)
             .map(|worker| {
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
                 let max_batch = config.max_batch;
+                let exec_threads = config.exec_threads;
                 std::thread::Builder::new()
                     .name(format!("ucnn-serve-{worker}"))
-                    .spawn(move || worker_loop(worker, &queue, &counters, max_batch))
+                    .spawn(move || worker_loop(worker, &queue, &counters, max_batch, exec_threads))
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -281,6 +363,12 @@ impl Engine {
         EngineStats {
             served: self.counters.served.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
+            batch_size_counts: self
+                .counters
+                .batch_sizes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -298,24 +386,48 @@ fn worker_loop(
     queue: &BoundedQueue<Request>,
     counters: &Counters,
     max_batch: usize,
+    exec_threads: usize,
 ) {
     while let Some(batch) = queue.pop_batch(max_batch) {
-        let batch_size = batch.len();
-        counters.batches.fetch_add(1, Ordering::Relaxed);
+        // Group the drained requests by model (FIFO order preserved within
+        // a group) so each group runs as ONE batch-major forward.
+        let mut groups: Vec<(Arc<CompiledNetwork>, Vec<Request>)> = Vec::new();
         for req in batch {
+            match groups
+                .iter_mut()
+                .find(|(model, _)| Arc::ptr_eq(model, &req.model))
+            {
+                Some((_, requests)) => requests.push(req),
+                None => {
+                    let model = Arc::clone(&req.model);
+                    groups.push((model, vec![req]));
+                }
+            }
+        }
+        for (model, requests) in groups {
+            let batch_size = requests.len();
+            counters.record_batch(batch_size);
+            let mut inputs = Vec::with_capacity(batch_size);
+            let mut receipts = Vec::with_capacity(batch_size);
+            for req in requests {
+                inputs.push(req.input);
+                receipts.push((req.tx, req.enqueued_at));
+            }
             let start = Instant::now();
-            let output = req.model.forward(&req.input);
+            let outputs = model.forward_batch_threads(&inputs, exec_threads);
             let completed_at = Instant::now();
-            counters.served.fetch_add(1, Ordering::Relaxed);
-            // A dropped receiver (client gave up) is not an error.
-            let _ = req.tx.send(ServeResponse {
-                output,
-                queue_ns: ns(start.duration_since(req.enqueued_at)),
-                service_ns: ns(completed_at.duration_since(start)),
-                batch_size,
-                worker,
-                completed_at,
-            });
+            let service_ns = ns(completed_at.duration_since(start));
+            for ((tx, enqueued_at), output) in receipts.into_iter().zip(outputs) {
+                // A dropped receiver (client gave up) is not an error.
+                let _ = tx.send(ServeResponse {
+                    output,
+                    queue_ns: ns(start.duration_since(enqueued_at)),
+                    service_ns,
+                    batch_size,
+                    worker,
+                    completed_at,
+                });
+            }
         }
     }
 }
@@ -349,6 +461,7 @@ mod tests {
                 workers,
                 queue_capacity: 32,
                 max_batch: 4,
+                exec_threads: 1,
             },
         );
         (engine, cases)
@@ -371,6 +484,153 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.served, 12);
         assert!(stats.batches >= 1 && stats.batches <= 12);
+    }
+
+    #[test]
+    fn batch_size_distribution_is_surfaced() {
+        let (engine, cases) = tiny_engine(1);
+        let pendings: Vec<_> = (0..10)
+            .map(|i| {
+                let (input, _) = &cases[i % cases.len()];
+                engine.submit("tiny", input.clone()).unwrap()
+            })
+            .collect();
+        let mut seen_sizes = Vec::new();
+        for pending in pendings {
+            let resp = pending.wait().unwrap();
+            assert!(resp.batch_size >= 1 && resp.batch_size <= 4);
+            seen_sizes.push(resp.batch_size);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.served, 10);
+        // The distribution must account for every request exactly once.
+        let weighted: u64 = stats
+            .batch_size_counts
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        assert_eq!(weighted, stats.served, "{:?}", stats.batch_size_counts);
+        let total: u64 = stats.batch_size_counts.iter().sum();
+        assert_eq!(total, stats.batches);
+        assert_eq!(stats.batch_size_counts[0], 0, "no empty batches");
+        assert!(stats.max_batch() >= 1 && stats.max_batch() <= 4);
+        assert!(stats.batch_percentile(0.5) <= stats.batch_percentile(1.0));
+        assert_eq!(stats.batch_percentile(1.0), stats.max_batch());
+        assert!((stats.mean_batch() - weighted as f64 / total as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_threads_keep_responses_bit_exact() {
+        // Same requests through a 2-exec-thread engine: outputs must stay
+        // bit-identical to the dense reference the cases were built from.
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 13, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(14);
+        let cases: Vec<_> = (0..3)
+            .map(|_| {
+                let input = agen.generate_for(&net.conv_layers()[0]);
+                let expected = forward::dense_forward(&net, &weights, &input);
+                (input, expected)
+            })
+            .collect();
+        let engine = Engine::start(
+            registry,
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 32,
+                max_batch: 8,
+                exec_threads: 2,
+            },
+        );
+        let pendings: Vec<_> = (0..9)
+            .map(|i| {
+                let (input, _) = &cases[i % cases.len()];
+                engine.submit("tiny", input.clone()).unwrap()
+            })
+            .collect();
+        for (i, pending) in pendings.into_iter().enumerate() {
+            let resp = pending.wait().unwrap();
+            assert_eq!(resp.output, cases[i % cases.len()].1, "request {i}");
+        }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn mixed_model_batches_group_correctly() {
+        // Two models interleaved in one queue: grouping by plan identity
+        // must route every request through its own model's batched forward.
+        let registry = Arc::new(ModelRegistry::new());
+        let tiny = networks::tiny();
+        let mut other = ucnn_model::NetworkSpec::new("tiny-b");
+        for layer in tiny.layers() {
+            other.push(layer.clone());
+        }
+        let w_a = forward::generate_network_weights(&tiny, QuantScheme::inq(), 21, 0.9);
+        let w_b = forward::generate_network_weights(&other, QuantScheme::inq(), 22, 0.7);
+        registry.compile_and_insert(&tiny, &w_a, &UcnnConfig::with_g(2));
+        registry.compile_and_insert(&other, &w_b, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(23);
+        let cases: Vec<_> = (0..6)
+            .map(|i| {
+                let input = agen.generate_for(&tiny.conv_layers()[0]);
+                let (name, weights, spec) = if i % 2 == 0 {
+                    ("tiny", &w_a, &tiny)
+                } else {
+                    ("tiny-b", &w_b, &other)
+                };
+                let expected = forward::dense_forward(spec, weights, &input);
+                (name, input, expected)
+            })
+            .collect();
+        let engine = Engine::start(
+            registry,
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 32,
+                max_batch: 8,
+                exec_threads: 1,
+            },
+        );
+        let pendings: Vec<_> = cases
+            .iter()
+            .map(|(name, input, _)| engine.submit(name, input.clone()).unwrap())
+            .collect();
+        for (pending, (name, _, expected)) in pendings.into_iter().zip(&cases) {
+            let resp = pending.wait().unwrap();
+            assert_eq!(&resp.output, expected, "model {name} got wrong output");
+        }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "need a positive max batch")]
+    fn zero_max_batch_rejected() {
+        // Without the guard this would pass start() and panic every worker
+        // inside pop_batch, leaving clients blocked forever.
+        let registry = Arc::new(ModelRegistry::new());
+        let _ = Engine::start(
+            registry,
+            EngineConfig {
+                max_batch: 0,
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one exec thread")]
+    fn zero_exec_threads_rejected() {
+        let registry = Arc::new(ModelRegistry::new());
+        let _ = Engine::start(
+            registry,
+            EngineConfig {
+                exec_threads: 0,
+                ..EngineConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -246,4 +246,87 @@ mod tests {
     fn bad_quantile_panics() {
         let _ = LatencyHistogram::new().percentile(1.5);
     }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.mean(), 37.0);
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 37, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_handles_u64_max() {
+        // The topmost octave's bucket edge would overflow u64; recording
+        // the maximum value must neither panic nor mis-bucket.
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        // The reported quantile is capped at the exact max, never beyond.
+        assert!(h.percentile(0.5) <= u64::MAX);
+        assert!(index_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LatencyHistogram::new();
+        for v in [3u64, 99, 4_000_000] {
+            a.record(v);
+        }
+        let snapshot = a.clone();
+        // Non-empty ← empty: nothing changes.
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), snapshot.count());
+        assert_eq!(a.min(), snapshot.min());
+        assert_eq!(a.max(), snapshot.max());
+        for q in [0.1, 0.5, 1.0] {
+            assert_eq!(a.percentile(q), snapshot.percentile(q));
+        }
+        // Empty ← non-empty: adopts the other's stats exactly (the min
+        // sentinel must not leak through).
+        let mut b = LatencyHistogram::new();
+        b.merge(&snapshot);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.min(), 3);
+        assert_eq!(b.max(), 4_000_000);
+        // Empty ← empty stays empty.
+        let mut c = LatencyHistogram::new();
+        c.merge(&LatencyHistogram::new());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_extremes_and_sums() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(1_000_000);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.percentile(1.0), u64::MAX);
+    }
 }

@@ -9,9 +9,13 @@
 //!   ([`ucnn_core::plan::CompiledNetwork`]), register it by name, and share
 //!   the immutable plan across threads behind an `Arc`.
 //! * [`Engine`] — a bounded request queue with dynamic batching feeding a
-//!   pool of worker threads; every response is produced by
-//!   [`ucnn_core::exec::run_compiled`] and is bit-identical to the dense
-//!   reference.
+//!   pool of worker threads; each drained batch is grouped by model and
+//!   executed as **one batch-major forward**
+//!   ([`ucnn_core::plan::CompiledNetwork::forward_batch_threads`]), walking
+//!   the retained streams once for the whole batch — with
+//!   [`EngineConfig::exec_threads`] scoped threads inside the forward —
+//!   and every response stays bit-identical to the dense reference at
+//!   every batch size and thread count.
 //! * [`LatencyHistogram`] — HDR-style log-bucketed latency recording with
 //!   ≤ ~3 % relative error.
 //! * [`loadgen`] — closed-loop and fixed-rate open-loop stress drivers

@@ -49,6 +49,14 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// End-to-end latency distribution (nanoseconds).
     pub latency: LatencyHistogram,
+    /// Distribution of the engine batch sizes the responses rode in.
+    ///
+    /// Batch sizes sit in the histogram's exact linear region, so these are
+    /// precise counts — the client-side view of batch formation that
+    /// complements the engine's own
+    /// [`EngineStats`](crate::engine::EngineStats) distribution (a request
+    /// in a batch of `n` is counted once here but `1/n` times there).
+    pub batch_sizes: LatencyHistogram,
 }
 
 impl LoadReport {
@@ -78,6 +86,18 @@ impl LoadReport {
     pub fn mean_us(&self) -> f64 {
         self.latency.mean() / 1_000.0
     }
+
+    /// Mean engine batch size observed across responses (request-weighted).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+
+    /// Largest engine batch any response rode in.
+    #[must_use]
+    pub fn max_batch(&self) -> u64 {
+        self.batch_sizes.max()
+    }
 }
 
 /// Runs `clients` concurrent closed-loop clients, each issuing
@@ -99,11 +119,13 @@ pub fn closed_loop(
     assert!(!workload.cases.is_empty(), "workload needs cases");
 
     let started = Instant::now();
-    let per_client: Vec<(LatencyHistogram, u64, u64)> = std::thread::scope(|scope| {
+    type ClientTally = (LatencyHistogram, LatencyHistogram, u64, u64);
+    let per_client: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
                 scope.spawn(move || {
                     let mut hist = LatencyHistogram::new();
+                    let mut batches = LatencyHistogram::new();
                     let mut mismatches = 0u64;
                     let mut errors = 0u64;
                     for i in 0..iters_per_client {
@@ -116,6 +138,7 @@ pub fn closed_loop(
                         match outcome {
                             Ok(resp) => {
                                 hist.record(ns(resp.completed_at.duration_since(sent)));
+                                batches.record(resp.batch_size as u64);
                                 if &resp.output != expected {
                                     mismatches += 1;
                                 }
@@ -127,7 +150,7 @@ pub fn closed_loop(
                             Err(_) => errors += 1,
                         }
                     }
-                    (hist, mismatches, errors)
+                    (hist, batches, mismatches, errors)
                 })
             })
             .collect();
@@ -136,10 +159,12 @@ pub fn closed_loop(
     let elapsed = started.elapsed();
 
     let mut latency = LatencyHistogram::new();
+    let mut batch_sizes = LatencyHistogram::new();
     let mut mismatches = 0u64;
     let mut errors = 0u64;
-    for (h, m, e) in &per_client {
+    for (h, b, m, e) in &per_client {
         latency.merge(h);
+        batch_sizes.merge(b);
         mismatches += m;
         errors += e;
     }
@@ -151,6 +176,7 @@ pub fn closed_loop(
         errors,
         elapsed,
         latency,
+        batch_sizes,
     }
 }
 
@@ -197,11 +223,13 @@ pub fn open_loop(
     }
 
     let mut latency = LatencyHistogram::new();
+    let mut batch_sizes = LatencyHistogram::new();
     let mut mismatches = 0u64;
     for (i, scheduled, p) in pending {
         match p.wait() {
             Ok(resp) => {
                 latency.record(ns(resp.completed_at.duration_since(scheduled)));
+                batch_sizes.record(resp.batch_size as u64);
                 if resp.output != workload.cases[i % workload.cases.len()].1 {
                     mismatches += 1;
                 }
@@ -219,6 +247,7 @@ pub fn open_loop(
         errors,
         elapsed,
         latency,
+        batch_sizes,
     }
 }
 
@@ -254,6 +283,7 @@ mod tests {
                 workers,
                 queue_capacity,
                 max_batch: 4,
+                exec_threads: 1,
             },
         );
         (engine, cases)
@@ -272,6 +302,9 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.throughput_rps() > 0.0);
         assert!(report.percentile_us(0.99) >= report.percentile_us(0.50));
+        // Every response reports the batch it rode in.
+        assert_eq!(report.batch_sizes.count(), report.completed);
+        assert!(report.mean_batch() >= 1.0 && report.max_batch() <= 4);
         let _ = engine.shutdown();
     }
 

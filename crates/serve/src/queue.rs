@@ -215,6 +215,109 @@ mod tests {
     }
 
     #[test]
+    fn backpressure_holds_depth_at_capacity() {
+        // Several producers hammer a full queue: depth must never exceed
+        // capacity while they are blocked, and every item must eventually
+        // arrive exactly once.
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(100u64).unwrap();
+        q.push(101u64).unwrap();
+        let producers: Vec<_> = (0..3u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.push(p).is_ok())
+            })
+            .collect();
+        // All three producers are blocked on a full queue; give them time
+        // to park and verify backpressure holds the depth at capacity.
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(q.len(), 2, "blocked producers must not grow the queue");
+
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            got.extend(q.pop_batch(1).unwrap());
+            assert!(q.len() <= 2, "depth exceeded capacity mid-drain");
+        }
+        for p in producers {
+            assert!(p.join().unwrap(), "producer failed to push");
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 100, 101]);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_producers_with_error() {
+        // Shutdown while producers are parked in push(): all of them must
+        // wake with Err(Closed) instead of deadlocking, and the items
+        // already queued must still drain.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).unwrap();
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.push(8))
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(30));
+        q.close();
+        for p in producers {
+            assert_eq!(p.join().unwrap(), Err(Closed), "producer not rejected");
+        }
+        // The pre-close item survives; afterwards the queue reports closed.
+        assert_eq!(q.pop_batch(4).unwrap(), vec![7]);
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn close_races_with_producers_and_consumers() {
+        // Producers, consumers, and a closer all racing: no deadlock, no
+        // duplicated items, and everything that push() accepted is popped.
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..3u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    for i in 0..50u64 {
+                        let item = p * 1000 + i;
+                        if q.push(item).is_ok() {
+                            accepted.push(item);
+                        } else {
+                            break; // closed mid-stream
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(batch) = q.pop_batch(3) {
+                        got.extend(batch);
+                    }
+                    got
+                })
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        let mut accepted: Vec<u64> = producers
+            .into_iter()
+            .flat_map(|p| p.join().unwrap())
+            .collect();
+        let mut popped: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        accepted.sort_unstable();
+        popped.sort_unstable();
+        assert_eq!(accepted, popped, "accepted and drained sets must match");
+    }
+
+    #[test]
     fn many_producers_many_consumers_lose_nothing() {
         let q = Arc::new(BoundedQueue::new(8));
         let mut producers = Vec::new();

@@ -4,12 +4,20 @@
 //! reference.
 //!
 //! ```sh
-//! cargo run --release --example serve_stress -- [--quick] [--workers N] [--rate HZ]
+//! cargo run --release --example serve_stress -- \
+//!     [--quick] [--workers N] [--rate HZ] [--batch N] [--threads N]
 //! ```
 //!
 //! * `--quick` — small burst sizes (CI smoke configuration).
 //! * `--workers N` — worker thread count (default 4).
 //! * `--rate HZ` — open-loop arrival rate (default 200).
+//! * `--batch N` — max requests per batched forward (default 8).
+//! * `--threads N` — scoped exec threads inside each batched forward
+//!   (default 1).
+//!
+//! Every dynamic batch a worker drains executes as one batch-major forward
+//! walking the retained streams once for the whole batch; the printed batch
+//! size distribution shows how large batches actually formed under load.
 //!
 //! Exits non-zero if any response mismatches the dense reference or if a
 //! run completes zero requests.
@@ -31,7 +39,8 @@ fn arg_value(args: &[String], flag: &str) -> Option<usize> {
 fn print_report(report: &LoadReport) {
     println!(
         "  {:<28} {:>7} ok  {:>4} bad  {:>4} dropped  {:>9.0} req/s  \
-         p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us",
+         p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  \
+         batch mean {:.2} max {}",
         report.label,
         report.completed,
         report.mismatches,
@@ -40,6 +49,8 @@ fn print_report(report: &LoadReport) {
         report.percentile_us(0.50),
         report.percentile_us(0.95),
         report.percentile_us(0.99),
+        report.mean_batch(),
+        report.max_batch(),
     );
 }
 
@@ -48,6 +59,8 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let workers = arg_value(&args, "--workers").unwrap_or(4);
     let rate = arg_value(&args, "--rate").unwrap_or(200) as f64;
+    let max_batch = arg_value(&args, "--batch").unwrap_or(8);
+    let exec_threads = arg_value(&args, "--threads").unwrap_or(1);
     let (clients, iters, open_requests) = if quick { (2, 10, 40) } else { (8, 50, 400) };
 
     // Compile once: the registry holds the immutable plan workers share.
@@ -80,10 +93,15 @@ fn main() -> ExitCode {
         Arc::clone(&registry),
         EngineConfig {
             workers,
+            max_batch,
+            exec_threads,
             ..EngineConfig::default()
         },
     );
-    println!("engine up: {workers} workers\n");
+    println!(
+        "engine up: {workers} workers, max batch {max_batch}, \
+         {exec_threads} exec thread(s) per batch\n"
+    );
 
     let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
     print_report(&closed);
@@ -92,10 +110,25 @@ fn main() -> ExitCode {
 
     let stats = engine.shutdown();
     println!(
-        "\nengine served {} requests in {} batches (mean batch {:.2})",
+        "\nengine served {} requests in {} batched forwards \
+         (batch mean {:.2}, p50 {}, p90 {}, max {})",
         stats.served,
         stats.batches,
-        stats.mean_batch()
+        stats.mean_batch(),
+        stats.batch_percentile(0.5),
+        stats.batch_percentile(0.9),
+        stats.max_batch(),
+    );
+    let formed: Vec<String> = stats
+        .batch_size_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &count)| count > 0)
+        .map(|(size, &count)| format!("{size}x{count}"))
+        .collect();
+    println!(
+        "batch size distribution (size x batches): {}",
+        formed.join("  ")
     );
 
     let bad = closed.mismatches + open.mismatches + closed.errors + open.errors;
