@@ -92,9 +92,19 @@ fn bench_ablations(c: &mut Criterion) {
 fn bench_serving(c: &mut Criterion) {
     let mut g = c.benchmark_group("serving");
     g.sample_size(10);
-    g.bench_function("serve_stress", |b| b.iter(|| black_box(exp::serve(true))));
+    g.bench_function("serve_stress", |b| {
+        b.iter(|| {
+            black_box(exp::serve(
+                true,
+                ucnn_core::backend::BackendKind::BatchThreads,
+            ))
+        })
+    });
     g.bench_function("compile_amortization", |b| {
         b.iter(|| black_box(exp::compile_amortization(true)))
+    });
+    g.bench_function("backend_table", |b| {
+        b.iter(|| black_box(exp::backend_table(true)))
     });
     g.finish();
 }

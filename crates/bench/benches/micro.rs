@@ -13,6 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ucnn_core::backend::{backend, BackendKind};
 use ucnn_core::compile::{compile_layer, UcnnConfig};
 use ucnn_core::exec::{
     factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads,
@@ -154,6 +155,43 @@ fn bench_batch_executor(c: &mut Criterion) {
     }
 }
 
+/// `--backend NAME` (after `cargo bench --bench micro --`) restricts the
+/// backend-comparison groups to one backend.
+fn backend_filter() -> Option<BackendKind> {
+    let args: Vec<String> = std::env::args().collect();
+    ucnn_bench::cli::arg_value(&args, "--backend").map(|name| {
+        BackendKind::parse(name).unwrap_or_else(|| panic!("unknown backend '{name}' for --backend"))
+    })
+}
+
+fn bench_backend_comparison(c: &mut Criterion) {
+    // The acceptance bar for the flattened backend: at B = 1 on an
+    // FC-shaped layer, the branch-free prefix-difference walk must be
+    // >= 1.3x the `compiled` scalar stream walk — no per-entry decode, no
+    // closure branching, one multiply per CSR segment.
+    let geom = ConvGeom::new(1, 1, 1024, 32, 1, 1);
+    let mut wgen = WeightGen::new(QuantScheme::inq(), 13).with_density(0.9);
+    let w = wgen.generate_dims(32, 1024, 1, 1);
+    let plan = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(2));
+    let mut agen = ActivationGen::new(14);
+    let only = backend_filter();
+    for batch in [1usize, 8] {
+        let inputs: Vec<_> = (0..batch).map(|_| agen.generate(1024, 1, 1)).collect();
+        let name = format!("fc_1024_to_32_backend_b{batch}");
+        let mut g = c.benchmark_group(&name);
+        for kind in BackendKind::ALL {
+            if only.is_some_and(|k| k != kind) {
+                continue;
+            }
+            let exec = backend(kind);
+            g.bench_function(kind.name(), |b| {
+                b.iter(|| black_box(exec.run_layer(&plan, &inputs, 2)))
+            });
+        }
+        g.finish();
+    }
+}
+
 criterion_group!(
     micro,
     bench_dot_products,
@@ -163,5 +201,6 @@ criterion_group!(
     bench_conv_executors,
     bench_retained_plan,
     bench_batch_executor,
+    bench_backend_comparison,
 );
 criterion_main!(micro);

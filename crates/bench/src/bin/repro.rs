@@ -1,23 +1,29 @@
 //! `repro` — regenerates every table and figure of the UCNN evaluation.
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--batch] [--out DIR]
+//! repro <experiment>... [--quick] [--batch] [--backend NAME] [--out DIR]
 //!
 //! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
-//!              table3 ablations serve batch all
+//!              table3 ablations serve batch backends all
 //! ```
 //!
 //! `--quick` shrinks networks/sweeps (used by CI and Criterion); the default
 //! runs the full configuration recorded in EXPERIMENTS.md. `--batch` appends
 //! the batch-major executor comparison (`repro serve --batch` prints the
 //! serving tables plus the per-request vs batch-major throughput table).
-//! With `--out DIR` every table is also written as `DIR/<experiment>.csv`.
+//! `--backend NAME` selects the executor backend the `serve` experiment
+//! drives the engine with (`factorized`, `compiled`, `batch`,
+//! `batch-threads`, `flattened`); the `backends` experiment prints the
+//! all-backends comparison table. With `--out DIR` every table is also
+//! written as `DIR/<experiment>.csv`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ucnn_bench::cli;
 use ucnn_bench::experiments;
 use ucnn_bench::TableOut;
+use ucnn_core::backend::BackendKind;
 
 const ALL: &[&str] = &[
     "fig1",
@@ -34,9 +40,10 @@ const ALL: &[&str] = &[
     "ablations",
     "serve",
     "batch",
+    "backends",
 ];
 
-fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
+fn run_one(name: &str, quick: bool, backend: BackendKind) -> Option<Vec<TableOut>> {
     let tables = match name {
         "fig1" => vec![experiments::fig1()],
         "fig3" => vec![experiments::fig3(quick)],
@@ -56,10 +63,11 @@ fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
             experiments::ablate_multipliers(),
         ],
         "serve" => vec![
-            experiments::serve(quick),
+            experiments::serve(quick, backend),
             experiments::compile_amortization(quick),
         ],
         "batch" => vec![experiments::batch_exec(quick)],
+        "backends" => vec![experiments::backend_table(quick)],
         _ => return None,
     };
     Some(tables)
@@ -68,17 +76,27 @@ fn run_one(name: &str, quick: bool) -> Option<Vec<TableOut>> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let out_dir: Option<PathBuf> = cli::arg_value(&args, "--out").map(PathBuf::from);
+    let backend = match cli::arg_value(&args, "--backend") {
+        Some(name) => match name.parse::<BackendKind>() {
+            Ok(kind) => kind,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => BackendKind::BatchThreads,
+    };
 
+    // Flag *values* are excluded by position, not by string value, so an
+    // experiment name that happens to equal a flag value (e.g. the 'batch'
+    // experiment with `--backend batch`) still selects normally.
+    let flag_value_positions = cli::flag_value_positions(&args, &["--out", "--backend"]);
     let mut selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != out_dir.as_ref().and_then(|p| p.to_str()))
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !flag_value_positions.contains(i))
+        .map(|(_, a)| a.clone())
         .collect();
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = ALL.iter().map(|s| (*s).to_string()).collect();
@@ -96,7 +114,7 @@ fn main() -> ExitCode {
     }
 
     for name in &selected {
-        let Some(tables) = run_one(name, quick) else {
+        let Some(tables) = run_one(name, quick, backend) else {
             eprintln!("unknown experiment '{name}'; choose from {ALL:?} or 'all'");
             return ExitCode::FAILURE;
         };

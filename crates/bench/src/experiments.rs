@@ -4,6 +4,7 @@
 //! the paper's plots. `quick` variants shrink networks/sweeps so Criterion
 //! can run them repeatedly; the full variants feed `EXPERIMENTS.md`.
 
+use ucnn_core::backend::{backend, BackendKind};
 use ucnn_core::compile::{compile_layer, compile_layer_sampled, UcnnConfig};
 use ucnn_core::encoding::{rle_bits_capped, EncodingParams, IitEncoding};
 use ucnn_core::exec::{factorized_conv, run_compiled};
@@ -667,10 +668,11 @@ pub fn ablate_multipliers() -> TableOut {
 
 /// Serving throughput/latency: closed-loop and fixed-rate open-loop stress
 /// runs against the compile-once engine on the tiny network, across worker
-/// counts. Every response is verified bit for bit against the dense
-/// reference (the run panics on any mismatch).
+/// counts, through the given executor `exec_backend`. Every response is
+/// verified bit for bit against the dense reference (the run panics on any
+/// mismatch).
 #[must_use]
-pub fn serve(quick: bool) -> TableOut {
+pub fn serve(quick: bool, exec_backend: BackendKind) -> TableOut {
     use std::sync::Arc;
     use ucnn_model::forward;
     use ucnn_serve::{loadgen, Engine, EngineConfig, ModelRegistry};
@@ -699,8 +701,11 @@ pub fn serve(quick: bool) -> TableOut {
         (&[1, 2, 4, 8], 60, 400)
     };
 
+    let title = format!(
+        "Serving: compile-once engine under closed/open-loop load (tiny net, '{exec_backend}' backend)"
+    );
     let mut t = TableOut::new(
-        "Serving: compile-once engine under closed/open-loop load (tiny net)",
+        &title,
         &[
             "mode",
             "workers",
@@ -722,6 +727,7 @@ pub fn serve(quick: bool) -> TableOut {
                 Arc::clone(&registry),
                 EngineConfig {
                     workers,
+                    backend: exec_backend,
                     ..EngineConfig::default()
                 },
             )
@@ -920,6 +926,82 @@ pub fn batch_exec(quick: bool) -> TableOut {
     t
 }
 
+/// Executor backend comparison: every registered backend on FC- and
+/// conv-shaped layers across batch sizes — per-image time and speedup vs
+/// the scalar `compiled` walk. Outputs are asserted bit-identical across
+/// backends per cell, so the table doubles as an end-to-end conformance
+/// run. The headline number is `flattened` at B = 1 on the FC shape, where
+/// the branch-free lowering must beat `compiled` by ≥ 1.3× (the PR's
+/// acceptance bar; ~3–4× in practice).
+#[must_use]
+pub fn backend_table(quick: bool) -> TableOut {
+    use std::time::Instant;
+    use ucnn_core::plan::CompiledLayer;
+    use ucnn_model::ActivationGen;
+    use ucnn_tensor::{ConvGeom, Tensor3};
+
+    let (fc_c, conv_c, repeats) = if quick { (512, 16, 3) } else { (1024, 64, 10) };
+    let batches: &[usize] = if quick { &[1, 8] } else { &[1, 2, 8, 16] };
+    let layers = [
+        ("fc 1x1", ConvGeom::new(1, 1, fc_c, 32, 1, 1)),
+        (
+            "conv 7x7",
+            ConvGeom::new(7, 7, conv_c, 16, 3, 3).with_pad(1),
+        ),
+    ];
+    let cfg = UcnnConfig::with_g(2);
+
+    let mut t = TableOut::new(
+        "Executor backends: per-image time (2 exec threads where supported)",
+        &["layer", "batch", "backend", "per_image_us", "x_vs_compiled"],
+    );
+    for (name, geom) in layers {
+        let mut wgen = WeightGen::new(QuantScheme::inq(), SEED ^ 0xBA).with_density(0.9);
+        let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+        let plan = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+        let mut agen = ActivationGen::new(SEED ^ 0xBB);
+        for &b in batches {
+            let inputs: Vec<Tensor3<i16>> = (0..b)
+                .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
+                .collect();
+            let expected: Vec<_> = inputs.iter().map(|i| run_compiled(&plan, i)).collect();
+            let timed: Vec<(BackendKind, f64)> = BackendKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    let exec = backend(kind);
+                    // Correctness first: every backend must agree bit for bit.
+                    assert_eq!(
+                        exec.run_layer(&plan, &inputs, 2),
+                        expected,
+                        "backend {kind} diverged on {name} B={b}"
+                    );
+                    let start = Instant::now();
+                    for _ in 0..repeats {
+                        std::hint::black_box(exec.run_layer(&plan, &inputs, 2));
+                    }
+                    let us = start.elapsed().as_secs_f64() * 1e6 / (repeats * b) as f64;
+                    (kind, us)
+                })
+                .collect();
+            let compiled_us = timed
+                .iter()
+                .find(|(k, _)| *k == BackendKind::Compiled)
+                .expect("compiled backend is registered")
+                .1;
+            for (kind, us) in timed {
+                t.push_row(vec![
+                    name.to_string(),
+                    b.to_string(),
+                    kind.name().to_string(),
+                    f2(us),
+                    f2(compiled_us / us),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1025,13 +1107,44 @@ mod tests {
 
     #[test]
     fn serve_quick_completes_with_zero_mismatches() {
-        let t = serve(true);
+        let t = serve(true, BackendKind::BatchThreads);
         assert_eq!(t.rows.len(), 2); // one closed + one open-loop row
         for row in &t.rows {
             assert!(row[2].parse::<u64>().unwrap() > 0, "no requests: {row:?}");
             assert_eq!(row[3], "0", "mismatches: {row:?}");
             assert!(row[5].parse::<f64>().unwrap() > 0.0, "throughput: {row:?}");
         }
+    }
+
+    #[test]
+    fn serve_quick_flattened_backend_also_clean() {
+        let t = serve(true, BackendKind::Flattened);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert_eq!(row[3], "0", "mismatches: {row:?}");
+        }
+    }
+
+    #[test]
+    fn backend_table_covers_every_backend_bit_exactly() {
+        // Bit-exactness across backends is asserted inside backend_table
+        // per cell; here we pin the table shape and positive timings.
+        // Speedups are machine-dependent and not asserted (the micro bench
+        // is the perf gate).
+        let t = backend_table(true);
+        let kinds = BackendKind::ALL.len();
+        assert_eq!(t.rows.len(), 2 * 2 * kinds); // 2 layers × 2 batch sizes
+        for row in &t.rows {
+            assert!(row[3].parse::<f64>().unwrap() > 0.0, "{row:?}");
+            assert!(row[4].parse::<f64>().unwrap() > 0.0, "{row:?}");
+        }
+        // Every backend appears for the FC B=1 cell.
+        let fc_b1: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "fc 1x1" && r[1] == "1")
+            .collect();
+        assert_eq!(fc_b1.len(), kinds);
     }
 
     #[test]

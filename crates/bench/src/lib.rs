@@ -14,3 +14,57 @@ pub mod experiments;
 pub mod table;
 
 pub use table::TableOut;
+
+/// Minimal `--flag VALUE` argv scanning shared by the `repro` binary and
+/// the Criterion benches (no CLI crate in the offline build environment).
+pub mod cli {
+    /// The value of the **last** `--flag VALUE` occurrence in `args` —
+    /// repeating a flag overrides earlier ones, like most CLIs.
+    #[must_use]
+    pub fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+        args.iter()
+            .rposition(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    }
+
+    /// Indices in `args` occupied by the value of **any** occurrence of any
+    /// of `flags`, so positional-argument scans can exclude flag values by
+    /// position rather than by string (an experiment name that happens to
+    /// equal a flag value must still select normally).
+    #[must_use]
+    pub fn flag_value_positions(args: &[String], flags: &[&str]) -> Vec<usize> {
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| flags.contains(&a.as_str()))
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn argv(s: &[&str]) -> Vec<String> {
+            s.iter().map(|a| (*a).to_string()).collect()
+        }
+
+        #[test]
+        fn last_occurrence_wins() {
+            let args = argv(&["serve", "--backend", "batch", "--backend", "flattened"]);
+            assert_eq!(arg_value(&args, "--backend").unwrap(), "flattened");
+            assert_eq!(arg_value(&args, "--out"), None);
+        }
+
+        #[test]
+        fn trailing_flag_without_value_is_none() {
+            let args = argv(&["fig1", "--out"]);
+            assert_eq!(arg_value(&args, "--out"), None);
+        }
+
+        #[test]
+        fn every_occurrence_is_excluded_positionally() {
+            let args = argv(&["--backend", "batch", "serve", "--backend", "flattened"]);
+            assert_eq!(flag_value_positions(&args, &["--backend", "--out"]), [1, 4]);
+        }
+    }
+}

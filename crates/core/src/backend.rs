@@ -1,0 +1,315 @@
+//! Pluggable executor backends: one trait, five interchangeable inner-loop
+//! shapes over the same retained plans.
+//!
+//! Every UCNN execution strategy computes the *same* arithmetic as the dense
+//! convolution, only reordered around weight repetition (§III) — so an
+//! executor is a swappable implementation detail, not a semantic choice.
+//! This module makes that explicit: a [`Backend`] executes a
+//! [`CompiledLayer`] over a batch of inputs, every registered backend is
+//! **bit-identical** to the dense reference (enforced by the golden
+//! conformance corpus in `tests/golden/` and the cross-backend property
+//! test), and callers select one with a [`BackendKind`] threaded end to end
+//! from the serving engine's config down to the inner loop.
+//!
+//! | kind | inner loop | where it wins |
+//! |------|-----------|----------------|
+//! | [`BackendKind::Factorized`] | re-sorts/factorizes per call | never (baseline for compile-amortization) |
+//! | [`BackendKind::Compiled`] | scalar stream walk per image | reference for the retained-plan paths |
+//! | [`BackendKind::Batch`] | one batch-major walk, entry decode amortized over B | B ≥ 2, single core |
+//! | [`BackendKind::BatchThreads`] | batch-major + scoped threads over filter bands × batch chunks | B ≥ 2, multiple cores |
+//! | [`BackendKind::Flattened`] | branch-free gathers + CSR prefix-difference groups | B = 1 latency, FC / unpadded shapes |
+//!
+//! New executors implement [`Backend`], get a [`BackendKind`] variant, and
+//! inherit the whole conformance suite for free.
+
+use ucnn_tensor::{Tensor3, Tensor4};
+
+use crate::exec::{factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads};
+use crate::flatten::run_flattened_batch;
+use crate::plan::CompiledLayer;
+
+/// Selects one of the registered executor backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Per-call re-factorization (`factorized_conv`): re-sorts the weights
+    /// on every execution. The slow baseline that motivates retained plans.
+    Factorized,
+    /// Scalar retained-stream walk per image (`run_compiled`).
+    Compiled,
+    /// Batch-major walk (`run_compiled_batch`): each stream entry is decoded
+    /// once for the whole batch.
+    Batch,
+    /// Batch-major walk parallelized over filter bands × batch chunks with
+    /// scoped threads (`run_compiled_batch_threads`).
+    BatchThreads,
+    /// Branch-free flattened execution (`run_flattened_batch`): compile-time
+    /// lowered gather offsets and CSR group ranges, no entry decode.
+    Flattened,
+}
+
+impl BackendKind {
+    /// Every registered backend, in registry order.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Factorized,
+        BackendKind::Compiled,
+        BackendKind::Batch,
+        BackendKind::BatchThreads,
+        BackendKind::Flattened,
+    ];
+
+    /// Stable CLI/config name of the backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Factorized => "factorized",
+            BackendKind::Compiled => "compiled",
+            BackendKind::Batch => "batch",
+            BackendKind::BatchThreads => "batch-threads",
+            BackendKind::Flattened => "flattened",
+        }
+    }
+
+    /// Parses a [`BackendKind::name`] (also accepting `_` for `-`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        let name = name.replace('_', "-");
+        BackendKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::parse(s).ok_or_else(|| {
+            let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown backend '{s}'; choose from {}", names.join(", "))
+        })
+    }
+}
+
+/// An executor backend: runs a compiled layer over a batch of inputs.
+///
+/// # Contract
+///
+/// Outputs must be **bit-identical** to the dense reference
+/// (`ucnn_model::reference::conv2d`) for every input, batch size, and
+/// thread count — the conformance corpus (`tests/conformance.rs`) and the
+/// cross-backend property test (`crates/core/tests/properties.rs`) run
+/// every registered backend against exactly that bar. Backends that cannot
+/// exploit `threads` simply ignore it; an empty batch returns an empty
+/// vector.
+pub trait Backend: Send + Sync {
+    /// Which [`BackendKind`] this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Stable name (defaults to the kind's name).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Executes `layer` over `inputs`, using at most `threads` execution
+    /// threads where the backend supports them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any input mismatches the layer geometry.
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>>;
+}
+
+struct FactorizedBackend;
+
+impl Backend for FactorizedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Factorized
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        assert!(threads > 0, "need at least one execution thread");
+        // Plans retain only streams; the per-call baseline rebuilds the
+        // dense weights from them (exact) and re-factorizes every call.
+        let filters: Tensor4<i16> = layer.reconstruct_filters();
+        inputs
+            .iter()
+            .map(|input| {
+                factorized_conv(
+                    layer.geom(),
+                    layer.conv_groups(),
+                    input,
+                    &filters,
+                    layer.config(),
+                )
+            })
+            .collect()
+    }
+}
+
+struct CompiledBackend;
+
+impl Backend for CompiledBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Compiled
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        assert!(threads > 0, "need at least one execution thread");
+        inputs.iter().map(|i| run_compiled(layer, i)).collect()
+    }
+}
+
+struct BatchBackend;
+
+impl Backend for BatchBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Batch
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        assert!(threads > 0, "need at least one execution thread");
+        run_compiled_batch(layer, inputs)
+    }
+}
+
+struct BatchThreadsBackend;
+
+impl Backend for BatchThreadsBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::BatchThreads
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        run_compiled_batch_threads(layer, inputs, threads)
+    }
+}
+
+struct FlattenedBackend;
+
+impl Backend for FlattenedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Flattened
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        run_flattened_batch(layer, inputs, threads)
+    }
+}
+
+/// Resolves a [`BackendKind`] to its (stateless, `'static`) implementation.
+#[must_use]
+pub fn backend(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Factorized => &FactorizedBackend,
+        BackendKind::Compiled => &CompiledBackend,
+        BackendKind::Batch => &BatchBackend,
+        BackendKind::BatchThreads => &BatchThreadsBackend,
+        BackendKind::Flattened => &FlattenedBackend,
+    }
+}
+
+/// Every registered backend, in [`BackendKind::ALL`] order — the set the
+/// conformance suite iterates, so a new backend added here is tested for
+/// free.
+#[must_use]
+pub fn all_backends() -> Vec<&'static dyn Backend> {
+    BackendKind::ALL.into_iter().map(backend).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::UcnnConfig;
+    use ucnn_model::{reference, ActivationGen, QuantScheme, WeightGen};
+    use ucnn_tensor::ConvGeom;
+
+    #[test]
+    fn names_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+        }
+        assert_eq!(
+            BackendKind::parse("batch_threads"),
+            Some(BackendKind::BatchThreads)
+        );
+        assert!(BackendKind::parse("nope").is_none());
+        assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn registry_resolves_every_kind() {
+        assert_eq!(all_backends().len(), BackendKind::ALL.len());
+        for kind in BackendKind::ALL {
+            assert_eq!(backend(kind).kind(), kind);
+            assert_eq!(backend(kind).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn every_backend_matches_dense_reference() {
+        let geom = ConvGeom::new(7, 6, 5, 4, 3, 3).with_pad(1);
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 17).with_density(0.8);
+        let weights = wgen.generate_dims(4, 5, 3, 3);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(18);
+        let inputs: Vec<_> = (0..3).map(|_| agen.generate(5, 7, 6)).collect();
+        let expected: Vec<_> = inputs
+            .iter()
+            .map(|i| reference::conv2d(&geom, 1, i, &weights))
+            .collect();
+        for b in all_backends() {
+            for threads in [1, 3] {
+                assert_eq!(
+                    b.run_layer(&layer, &inputs, threads),
+                    expected,
+                    "backend {} at {threads} threads",
+                    b.name()
+                );
+                assert!(b.run_layer(&layer, &[], threads).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Backend>();
+    }
+}

@@ -389,7 +389,7 @@ fn tile_stats(stream: &GroupStream, config: &UcnnConfig) -> TileStats {
                 }
             }
             Some(cl) => {
-                for level in (cl as usize)..g {
+                for (level, r) in run.iter_mut().enumerate().skip(cl as usize) {
                     closures += 1;
                     if level < g - 1 {
                         adds += 1; // accumulator ③ merge
@@ -401,12 +401,12 @@ fn tile_stats(stream: &GroupStream, config: &UcnnConfig) -> TileStats {
                             // the final chunk fires now.
                             1
                         } else {
-                            run[level].div_ceil(cap)
+                            r.div_ceil(cap)
                         };
                         dispatches += here;
                         multiplies += here;
                     }
-                    run[level] = 0;
+                    *r = 0;
                 }
             }
         }

@@ -26,9 +26,10 @@
 use crate::hierarchy::{GroupStream, ZERO_RANK};
 
 /// How `iiT` entries address the input buffer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum IitEncoding {
     /// Direct pointers of `ceil(log2 tile_len)` bits.
+    #[default]
     Pointer,
     /// Relative jumps of the given width; longer distances take multiple
     /// hop entries (bubbles).
@@ -36,12 +37,6 @@ pub enum IitEncoding {
         /// Bits per jump field (≥ 1).
         bits: u8,
     },
-}
-
-impl Default for IitEncoding {
-    fn default() -> Self {
-        IitEncoding::Pointer
-    }
 }
 
 /// Exact storage/bubble cost of one [`GroupStream`]'s tables.
@@ -161,10 +156,10 @@ fn weight_skip_entries(stream: &GroupStream, skip_capacity: u16) -> usize {
     for e in stream.entries() {
         let Some(cl) = e.close_level else { continue };
         let l = cl as usize;
-        for level in l..g {
+        for (level, prev) in prev_rank.iter_mut().enumerate().skip(l) {
             let rank = e.ranks[level];
             if level >= 1 && rank != ZERO_RANK {
-                let advance = match prev_rank[level] {
+                let advance = match *prev {
                     None => usize::from(rank) + 1,
                     Some(p) => usize::from(rank) - usize::from(p),
                 };
@@ -174,13 +169,13 @@ fn weight_skip_entries(stream: &GroupStream, skip_capacity: u16) -> usize {
                 }
             }
             if rank != ZERO_RANK {
-                prev_rank[level] = Some(rank);
+                *prev = Some(rank);
             }
         }
         // The closure ends the scopes of all deeper levels: their pointers
         // reset when the next (sub-)group begins.
-        for level in (l + 1)..g {
-            prev_rank[level] = None;
+        for prev in prev_rank.iter_mut().skip(l + 1) {
+            *prev = None;
         }
     }
     skips

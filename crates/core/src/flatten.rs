@@ -1,0 +1,424 @@
+//! Branch-free flattened lowering of retained streams — the compile-time
+//! form behind [`BackendKind::Flattened`](crate::backend::BackendKind).
+//!
+//! [`run_compiled`](crate::exec::run_compiled()) walks a
+//! [`GroupStream`] entry by entry: every
+//! entry pays a position decode (two divisions), a padding bounds check, an
+//! `Option` test on the closure level, and — on closures — a data-dependent
+//! nested loop over levels. All of that control flow exists to recover two
+//! static facts the stream already fixed at compile time:
+//!
+//! 1. **where each entry reads** — the input offset is an affine function of
+//!    the output position, so it flattens to a per-entry base offset plus
+//!    one per-position delta (`base[i] + stride·(x·H + y)`);
+//! 2. **which contiguous entry runs feed which weight** — each level's
+//!    activation groups are contiguous runs of the sorted stream, so they
+//!    flatten to CSR-style `[start, end)` ranges with the group's canonical
+//!    weight value attached (zero-weight groups are dropped entirely).
+//!
+//! The executor then needs no per-entry decode at all: phase one gathers
+//! activations through the precomputed offsets into a running prefix sum,
+//! phase two forms every group total as one prefix difference and multiplies
+//! it by the group's weight. Both loops are pure index-stride arithmetic.
+//! Because `i32` addition is associative modulo 2³², the prefix-difference
+//! group totals — and therefore the outputs — are **bit-identical** to the
+//! hierarchical accumulator walk (the conformance corpus and the
+//! cross-backend property test pin this down).
+//!
+//! Padding is the one data-dependent hazard: with `pad > 0` an entry's read
+//! can fall outside the input plane for edge output positions. Unpadded
+//! layers (every FC layer, and any conv with `pad == 0`) take the fully
+//! branch-free gather; padded layers keep a per-entry bounds check but still
+//! skip the decode and the closure machinery.
+
+use ucnn_tensor::{ConvGeom, Tensor3};
+
+use crate::hierarchy::{GroupStream, ZERO_RANK};
+use crate::plan::CompiledLayer;
+
+/// The flattened, branch-free form of one retained tile: per-entry gather
+/// offsets plus CSR-style activation-group ranges per level.
+///
+/// Built once per plan by [`FlattenedTile::lower`] — lazily, on the first
+/// [`CompiledLayer::flat_tiles`] call — then cached; executed by
+/// [`run_flattened`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlattenedTile {
+    /// Absolute output channel of the tile's first filter.
+    k_first: usize,
+    /// Filters in the tile (`G` of the stream).
+    g: usize,
+    /// `true` when every gather is in-bounds for every output position
+    /// (`pad == 0`), enabling the branch-free gather loop.
+    all_in_bounds: bool,
+    /// Retained stream entries (each gather-array below has this length).
+    n: usize,
+    /// Per entry: input offset at output position (0, 0). With `pad == 0`
+    /// this is non-negative and `base[i] + stride·(x·in_h + y)` is the exact
+    /// flattened input index for output `(x, y)`. Only populated on the
+    /// branch-free path (`pad == 0`); the checked path never reads it.
+    base: Vec<i32>,
+    /// Per entry: absolute input channel. Only populated on the checked
+    /// gather path (`pad > 0`); the branch-free path never reads it.
+    chan: Vec<u32>,
+    /// Per entry: `r - pad` (checked gather path only).
+    dx: Vec<i16>,
+    /// Per entry: `s - pad` (checked gather path only).
+    dy: Vec<i16>,
+    /// Per level `l`: segments `seg_ptr[l]..seg_ptr[l + 1]` belong to `l`.
+    seg_ptr: Vec<u32>,
+    /// Per segment: first entry of the activation group.
+    seg_start: Vec<u32>,
+    /// Per segment: one past the last entry of the activation group.
+    seg_end: Vec<u32>,
+    /// Per segment: the group's canonical (non-zero) weight value.
+    seg_weight: Vec<i32>,
+}
+
+impl FlattenedTile {
+    /// Lowers one retained stream into its flattened form.
+    ///
+    /// `k_first`/`c_first` are the tile's absolute filter and channel bases
+    /// (as in [`CompiledTile`](crate::plan::CompiledTile)); `geom` is the
+    /// layer geometry the offsets are computed against.
+    #[must_use]
+    pub fn lower(stream: &GroupStream, k_first: usize, c_first: usize, geom: &ConvGeom) -> Self {
+        let g = stream.g();
+        let n = stream.entry_count();
+        let rs = geom.r() * geom.s();
+        let s_dim = geom.s();
+        let (in_w, in_h) = (geom.in_w(), geom.in_h());
+        let pad = geom.pad() as isize;
+        let canonical = stream.canonical();
+
+        // Each gather path reads only its own arrays, so build just those:
+        // `base` for the branch-free path, `chan`/`dx`/`dy` for the checked
+        // one — half the resident footprint either way.
+        let all_in_bounds = geom.pad() == 0;
+        let mut base = Vec::with_capacity(if all_in_bounds { n } else { 0 });
+        let mut chan = Vec::with_capacity(if all_in_bounds { 0 } else { n });
+        let mut dx = Vec::with_capacity(if all_in_bounds { 0 } else { n });
+        let mut dy = Vec::with_capacity(if all_in_bounds { 0 } else { n });
+        for e in stream.entries() {
+            let p = e.index as usize;
+            let c = p / rs;
+            let rem = p % rs;
+            let r = (rem / s_dim) as isize;
+            let s = (rem % s_dim) as isize;
+            let c_abs = c_first + c;
+            if all_in_bounds {
+                let off = (c_abs * in_w * in_h) as isize + (r - pad) * in_h as isize + (s - pad);
+                base.push(i32::try_from(off).expect("input offset fits i32"));
+            } else {
+                chan.push(u32::try_from(c_abs).expect("channel fits u32"));
+                dx.push((r - pad) as i16);
+                dy.push((s - pad) as i16);
+            }
+        }
+
+        // CSR group ranges: at level `l`, a group closes at entry `i` when
+        // the stream closes level `l` or any outer level there. Groups whose
+        // weight is zero at this level dispatch nothing and are dropped.
+        let mut seg_ptr = Vec::with_capacity(g + 1);
+        let mut seg_start = Vec::new();
+        let mut seg_end = Vec::new();
+        let mut seg_weight = Vec::new();
+        for level in 0..g {
+            seg_ptr.push(u32::try_from(seg_start.len()).expect("segment count fits u32"));
+            let mut start = 0u32;
+            for i in 0..n {
+                let e = stream.entry(i);
+                let Some(cl) = e.close_level else { continue };
+                if (cl as usize) > level {
+                    continue;
+                }
+                let rank = e.ranks[level];
+                if rank != ZERO_RANK {
+                    seg_start.push(start);
+                    seg_end.push(i as u32 + 1);
+                    seg_weight.push(i32::from(canonical[rank as usize]));
+                }
+                start = i as u32 + 1;
+            }
+        }
+        seg_ptr.push(u32::try_from(seg_start.len()).expect("segment count fits u32"));
+
+        Self {
+            k_first,
+            g,
+            all_in_bounds,
+            n,
+            base,
+            chan,
+            dx,
+            dy,
+            seg_ptr,
+            seg_start,
+            seg_end,
+            seg_weight,
+        }
+    }
+
+    /// Stream entries retained by the tile.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.n
+    }
+
+    /// Activation-group segments across all levels — one multiply each per
+    /// output position.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.seg_start.len()
+    }
+
+    /// Whether the tile takes the fully branch-free gather (`pad == 0`).
+    #[must_use]
+    pub fn branch_free(&self) -> bool {
+        self.all_in_bounds
+    }
+
+    /// Adds this tile's partial sums into `out` for every output position.
+    /// `prefix` is caller-provided scratch, resized as needed.
+    fn accumulate(&self, input: &[i16], out: &mut [i32], geom: &ConvGeom, prefix: &mut Vec<i32>) {
+        let (out_w, out_h) = (geom.out_w(), geom.out_h());
+        let (in_w, in_h) = (geom.in_w(), geom.in_h());
+        let stride = geom.stride();
+        let n = self.n;
+        prefix.resize(n + 1, 0);
+        prefix[0] = 0;
+
+        for x in 0..out_w {
+            for y in 0..out_h {
+                // Phase 1: prefix sums of the gathered activations.
+                if self.all_in_bounds {
+                    let delta = (x * stride * in_h + y * stride) as i32;
+                    let mut run = 0i32;
+                    for (i, &b) in self.base.iter().enumerate() {
+                        run += i32::from(input[(b + delta) as usize]);
+                        prefix[i + 1] = run;
+                    }
+                } else {
+                    let (bx, by) = ((x * stride) as isize, (y * stride) as isize);
+                    let mut run = 0i32;
+                    for i in 0..n {
+                        let ix = bx + isize::from(self.dx[i]);
+                        let iy = by + isize::from(self.dy[i]);
+                        // Halo reads are zero and add nothing.
+                        if ix >= 0 && iy >= 0 && (ix as usize) < in_w && (iy as usize) < in_h {
+                            let off =
+                                (self.chan[i] as usize * in_w + ix as usize) * in_h + iy as usize;
+                            run += i32::from(input[off]);
+                        }
+                        prefix[i + 1] = run;
+                    }
+                }
+                // Phase 2: every group total is one prefix difference.
+                for level in 0..self.g {
+                    let mut acc = 0i32;
+                    let s0 = self.seg_ptr[level] as usize;
+                    let s1 = self.seg_ptr[level + 1] as usize;
+                    for si in s0..s1 {
+                        let total =
+                            prefix[self.seg_end[si] as usize] - prefix[self.seg_start[si] as usize];
+                        acc += total * self.seg_weight[si];
+                    }
+                    out[((self.k_first + level) * out_w + x) * out_h + y] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Executes a [`CompiledLayer`] through its flattened tiles — bit-identical
+/// to [`run_compiled`](crate::exec::run_compiled()) with no per-entry
+/// decode or closure branching in the inner loops.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the compiled layer's geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::exec::run_compiled;
+/// use ucnn_core::flatten::run_flattened;
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+///
+/// let geom = ConvGeom::new(5, 5, 3, 2, 3, 3);
+/// let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, r, s| ((k + c + r + s) % 3) as i16);
+/// let input = Tensor3::from_fn(3, 5, 5, |c, x, y| ((c + x + 2 * y) % 7) as i16);
+/// let layer = CompiledLayer::compile(&geom, 1, &filters, &UcnnConfig::with_g(2));
+/// assert_eq!(run_flattened(&layer, &input), run_compiled(&layer, &input));
+/// ```
+#[must_use]
+pub fn run_flattened(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32> {
+    let geom = layer.geom();
+    assert_eq!(
+        input.c(),
+        geom.c() * layer.conv_groups(),
+        "input channel mismatch"
+    );
+    assert!(
+        input.w() == geom.in_w() && input.h() == geom.in_h(),
+        "input plane mismatch"
+    );
+
+    let mut out = Tensor3::<i32>::zeros(geom.k(), geom.out_w(), geom.out_h());
+    let out_slice = out.as_mut_slice();
+    let in_slice = input.as_slice();
+    let mut prefix = Vec::new();
+    for tile in layer.flat_tiles() {
+        tile.accumulate(in_slice, out_slice, geom, &mut prefix);
+    }
+    out
+}
+
+/// [`run_flattened`] over a batch, optionally parallelized across images
+/// with scoped threads.
+///
+/// Images are independent (each writes its own output tensor), so splitting
+/// the batch across threads cannot reorder any image's arithmetic: results
+/// are bit-identical at every thread count. `threads == 1` or a batch of
+/// `≤ 1` spawns nothing.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any input mismatches the layer geometry.
+#[must_use]
+pub fn run_flattened_batch(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    threads: usize,
+) -> Vec<Tensor3<i32>> {
+    assert!(threads > 0, "need at least one execution thread");
+    if threads == 1 || inputs.len() <= 1 {
+        return inputs.iter().map(|i| run_flattened(layer, i)).collect();
+    }
+    let workers = threads.min(inputs.len());
+    let chunk = inputs.len().div_ceil(workers);
+    let mut outs: Vec<Option<Tensor3<i32>>> = (0..inputs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .zip(outs.chunks_mut(chunk))
+            .map(|(ins, slots)| {
+                scope.spawn(move || {
+                    for (input, slot) in ins.iter().zip(slots) {
+                        *slot = Some(run_flattened(layer, input));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("flattened executor thread panicked");
+        }
+    });
+    outs.into_iter()
+        .map(|o| o.expect("every image was executed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::UcnnConfig;
+    use crate::exec::run_compiled;
+    use ucnn_model::{reference, ActivationGen, QuantScheme, WeightGen};
+    use ucnn_tensor::Tensor4;
+
+    fn check(geom: ConvGeom, conv_groups: usize, g: usize, ct: usize, seed: u64) {
+        let mut wgen = WeightGen::new(QuantScheme::inq(), seed).with_density(0.8);
+        let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+        let mut agen = ActivationGen::new(seed ^ 0xF1A7);
+        let input = agen.generate(geom.c() * conv_groups, geom.in_w(), geom.in_h());
+        let cfg = UcnnConfig {
+            g,
+            ct,
+            ..UcnnConfig::default()
+        };
+        let layer = CompiledLayer::compile(&geom, conv_groups, &weights, &cfg);
+        let expected = reference::conv2d(&geom, conv_groups, &input, &weights);
+        assert_eq!(run_compiled(&layer, &input), expected, "run_compiled");
+        assert_eq!(run_flattened(&layer, &input), expected, "run_flattened");
+        let inputs = vec![input; 3];
+        for threads in [1, 2, 5] {
+            let got = run_flattened_batch(&layer, &inputs, threads);
+            assert_eq!(got.len(), 3);
+            for out in got {
+                assert_eq!(out, expected, "batch, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn fc_shape_is_branch_free_and_exact() {
+        let geom = ConvGeom::new(1, 1, 64, 10, 1, 1);
+        let cfg = UcnnConfig::with_g(2);
+        let mut wgen = WeightGen::new(QuantScheme::ttq(), 3).with_density(0.6);
+        let weights = wgen.generate_dims(10, 64, 1, 1);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+        assert!(layer.flat_tiles().iter().all(FlattenedTile::branch_free));
+        check(geom, 1, 2, 16, 3);
+    }
+
+    #[test]
+    fn padded_strided_conv_takes_checked_path_and_stays_exact() {
+        let geom = ConvGeom::new(11, 9, 5, 6, 3, 3).with_stride(2).with_pad(1);
+        check(geom, 1, 2, 3, 4);
+    }
+
+    #[test]
+    fn grouped_conv_exact() {
+        let geom = ConvGeom::new(7, 7, 4, 6, 3, 3).with_pad(1);
+        check(geom, 2, 2, 4, 5);
+    }
+
+    #[test]
+    fn ragged_channel_tiles_exact() {
+        let geom = ConvGeom::new(8, 8, 10, 4, 3, 3);
+        check(geom, 1, 3, 4, 6);
+    }
+
+    #[test]
+    fn all_zero_tile_lowers_to_zero_work() {
+        let stream = GroupStream::build(&[&[0i16; 9][..], &[0i16; 9][..]]);
+        let geom = ConvGeom::new(5, 5, 1, 2, 3, 3);
+        let tile = FlattenedTile::lower(&stream, 0, 0, &geom);
+        assert_eq!(tile.entry_count(), 0);
+        assert_eq!(tile.segment_count(), 0);
+    }
+
+    #[test]
+    fn segment_counts_match_stream_multiplies() {
+        // Segments per position equal the stream's uncapped multiply count:
+        // one multiply per non-zero group closure.
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 9).with_density(0.7);
+        let w = wgen.generate_dims(2, 8, 3, 3);
+        let slices: Vec<&[i16]> = vec![w.filter(0), w.filter(1)];
+        let stream = GroupStream::build(&slices);
+        let geom = ConvGeom::new(5, 5, 8, 2, 3, 3);
+        let tile = FlattenedTile::lower(&stream, 0, 0, &geom);
+        assert_eq!(tile.segment_count(), stream.multiplies());
+    }
+
+    #[test]
+    #[should_panic(expected = "input plane mismatch")]
+    fn rejects_mismatched_input() {
+        let geom = ConvGeom::new(6, 6, 4, 4, 3, 3);
+        let weights = Tensor4::from_fn(4, 4, 3, 3, |_, _, _, _| 1i16);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::default());
+        let _ = run_flattened(&layer, &Tensor3::filled(4, 5, 5, 1i16));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one execution thread")]
+    fn rejects_zero_threads() {
+        let geom = ConvGeom::new(4, 4, 2, 2, 3, 3);
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 1i16);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::default());
+        let _ = run_flattened_batch(&layer, &[], 0);
+    }
+}

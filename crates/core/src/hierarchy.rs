@@ -274,12 +274,12 @@ impl GroupStream {
             if cl == NO_CLOSE {
                 continue;
             }
-            for level in (cl as usize)..g {
+            for (level, r) in run.iter_mut().enumerate().skip(cl as usize) {
                 let rank = self.ranks[i * g + level];
                 if rank != ZERO_RANK {
-                    mults += run[level].div_ceil(cap);
+                    mults += r.div_ceil(cap);
                 }
-                run[level] = 0;
+                *r = 0;
             }
         }
         mults
@@ -428,6 +428,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // `1 * …` spells out the a=1 weight of the figure
     fn figure4_sub_activation_groups() {
         // Figure 4: filter k1 groups {x, h, y} under weight a and {g} under
         // b; filter k2 has the sub-activation group {x, h} (weight c) inside

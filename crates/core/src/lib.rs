@@ -37,6 +37,12 @@
 //!   [`CompiledNetwork`] own the per-tile streams so the sort/factorize
 //!   work is paid once per model and the hot path only walks streams
 //!   ([`exec::run_compiled`]).
+//! * [`backend`](mod@backend) — pluggable executor backends: one [`Backend`] trait over
+//!   five interchangeable, bit-identical inner-loop shapes, selected by
+//!   [`BackendKind`] end to end from the serving engine down.
+//! * [`flatten`] — the compile-time lowering behind
+//!   [`BackendKind::Flattened`]: branch-free gather offsets and CSR-style
+//!   activation-group ranges.
 //! * [`partial_product`] — the paper's third (unexploited) reuse form,
 //!   partial-product memoization across filters (§III-C), provided as an
 //!   extension for ablation.
@@ -57,16 +63,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bitstream;
 pub mod compile;
 pub mod encoding;
 pub mod exec;
 pub mod factorize;
+pub mod flatten;
 pub mod hierarchy;
 pub mod partial_product;
 pub mod plan;
 
+pub use backend::{all_backends, backend, Backend, BackendKind};
 pub use compile::{LayerPlan, TileStats, UcnnConfig};
 pub use factorize::{ActivationGroup, FilterFactorization};
+pub use flatten::FlattenedTile;
 pub use hierarchy::{GroupStream, StreamEntry};
 pub use plan::{CompiledLayer, CompiledNetwork, CompiledStage, CompiledTile};

@@ -19,11 +19,15 @@
 //! [`CompiledNetwork::forward`] and stays bit-identical to the dense
 //! reference.
 
+use std::sync::OnceLock;
+
 use ucnn_model::{reference, LayerKind, NetworkSpec, PoolKind};
 use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
 
+use crate::backend::{backend, BackendKind};
 use crate::compile::{canonical_of_tensor, UcnnConfig};
-use crate::hierarchy::GroupStream;
+use crate::flatten::FlattenedTile;
+use crate::hierarchy::{GroupStream, ZERO_RANK};
 
 /// One retained work unit of a compiled layer: the stream for a group of
 /// `≤ G` filters over one channel tile, plus where it lands in the layer.
@@ -79,12 +83,28 @@ impl CompiledTile {
 /// let fast = run_compiled(&layer, &input);           // no re-factorization
 /// assert_eq!(fast, reference::conv2d(&geom, 1, &input, &filters));
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CompiledLayer {
     config: UcnnConfig,
     geom: ConvGeom,
     conv_groups: usize,
     tiles: Vec<CompiledTile>,
+    /// Branch-free lowering of every tile (one per entry of `tiles`), built
+    /// lazily on the first [`BackendKind::Flattened`] execution and cached —
+    /// deployments that never select that backend pay neither the lowering
+    /// work nor the extra resident memory.
+    flat: OnceLock<Vec<FlattenedTile>>,
+}
+
+/// `flat` is a pure function of the other fields, so equality ignores it
+/// (and `OnceLock` has no `PartialEq` anyway).
+impl PartialEq for CompiledLayer {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.geom == other.geom
+            && self.conv_groups == other.conv_groups
+            && self.tiles == other.tiles
+    }
 }
 
 impl CompiledLayer {
@@ -152,6 +172,7 @@ impl CompiledLayer {
             geom: *geom,
             conv_groups,
             tiles,
+            flat: OnceLock::new(),
         }
     }
 
@@ -177,6 +198,64 @@ impl CompiledLayer {
     #[must_use]
     pub fn tiles(&self) -> &[CompiledTile] {
         &self.tiles
+    }
+
+    /// The branch-free flattened lowering of every tile, in the same order
+    /// as [`CompiledLayer::tiles`] (consumed by
+    /// [`run_flattened`](crate::flatten::run_flattened)).
+    ///
+    /// Lowered on first use and cached; subsequent calls are a load.
+    #[must_use]
+    pub fn flat_tiles(&self) -> &[FlattenedTile] {
+        self.flat.get_or_init(|| {
+            self.tiles
+                .iter()
+                .map(|t| FlattenedTile::lower(&t.stream, t.k_first, t.c_first, &self.geom))
+                .collect()
+        })
+    }
+
+    /// Rebuilds the dense weight tensor the layer was compiled from, out of
+    /// the retained streams: dropped positions are zero in every filter of
+    /// their group (the §IV-C union rule), every retained rank maps back
+    /// through the canonical order — so the reconstruction is exact.
+    ///
+    /// Plans deliberately do **not** retain the weights (serving memory is
+    /// streams only); the [`BackendKind::Factorized`] baseline backend
+    /// reconstructs them per call, which is consistent with its role as the
+    /// pay-everything-per-call baseline.
+    #[must_use]
+    pub fn reconstruct_filters(&self) -> Tensor4<i16> {
+        let rs = self.geom.r() * self.geom.s();
+        let filter_size = self.geom.c() * rs;
+        let k_per_group = self.geom.k() / self.conv_groups;
+        let mut data = vec![0i16; self.geom.k() * filter_size];
+        for tile in &self.tiles {
+            // c_first is an absolute input channel; the weight tensor is
+            // indexed by within-group channel.
+            let conv_group = tile.k_first / k_per_group;
+            let c_tensor_base = tile.c_first - conv_group * self.geom.c();
+            let canonical = tile.stream.canonical();
+            for e in tile.stream.entries() {
+                let p = e.index as usize;
+                let c_tensor = c_tensor_base + p / rs;
+                let rem = p % rs;
+                for (gi, &rank) in e.ranks.iter().enumerate() {
+                    if rank != ZERO_RANK {
+                        let k = tile.k_first + gi;
+                        data[k * filter_size + c_tensor * rs + rem] = canonical[rank as usize];
+                    }
+                }
+            }
+        }
+        Tensor4::from_vec(
+            self.geom.k(),
+            self.geom.c(),
+            self.geom.r(),
+            self.geom.s(),
+            data,
+        )
+        .expect("reconstructed tensor matches the compiled geometry")
     }
 
     /// Total retained stream entries across all tiles — a proxy for the
@@ -224,6 +303,10 @@ pub struct CompiledNetwork {
     name: String,
     stages: Vec<CompiledStage>,
     input_dims: (usize, usize, usize),
+    /// Explicit executor preference set via [`CompiledNetwork::set_backend`]
+    /// / [`CompiledNetwork::with_backend`]; `None` until one is chosen, so
+    /// callers (the serving engine) can tell "tuned" from "default".
+    backend: Option<BackendKind>,
 }
 
 impl CompiledNetwork {
@@ -287,13 +370,51 @@ impl CompiledNetwork {
             name: spec.name().to_string(),
             stages,
             input_dims,
+            backend: None,
         }
     }
+
+    /// Executor the `forward*` entry points use when no preference has been
+    /// set with [`CompiledNetwork::set_backend`].
+    pub const DEFAULT_BACKEND: BackendKind = BackendKind::BatchThreads;
 
     /// Network name.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The executor backend the `forward*` entry points use: the stored
+    /// preference if one was set, [`CompiledNetwork::DEFAULT_BACKEND`]
+    /// otherwise.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend.unwrap_or(Self::DEFAULT_BACKEND)
+    }
+
+    /// The explicit backend preference, if one was set with
+    /// [`CompiledNetwork::set_backend`] / [`CompiledNetwork::with_backend`].
+    ///
+    /// The serving engine honors this: a plan's preference overrides the
+    /// engine-wide `EngineConfig` default (only a per-model registry
+    /// override ranks higher).
+    #[must_use]
+    pub fn backend_preference(&self) -> Option<BackendKind> {
+        self.backend
+    }
+
+    /// Builder-style variant of [`CompiledNetwork::set_backend`].
+    #[must_use]
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = Some(kind);
+        self
+    }
+
+    /// Sets the executor backend the `forward*` entry points use (and the
+    /// serving engine honors, absent a per-model registry override). Every
+    /// backend is bit-identical, so this only changes performance.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = Some(kind);
     }
 
     /// The compiled stages, in execution order.
@@ -320,8 +441,8 @@ impl CompiledNetwork {
             .sum()
     }
 
-    /// Runs one inference from the retained plans — no per-call sorting or
-    /// factorization. Bit-identical to
+    /// Runs one inference through the stored default backend — no per-call
+    /// sorting or factorization. Bit-identical to
     /// [`ucnn_model::forward::dense_forward`] on the same spec and weights.
     ///
     /// # Panics
@@ -329,18 +450,22 @@ impl CompiledNetwork {
     /// Panics if `input` does not match [`CompiledNetwork::input_dims`].
     #[must_use]
     pub fn forward(&self, input: &Tensor3<i16>) -> Tensor3<i32> {
-        // One stage-walking loop serves every entry point: a batch of one
-        // routes through the scalar stream walk inside run_compiled_batch,
-        // so this stays the zero-overhead single-image path.
-        self.forward_batch(std::slice::from_ref(input))
+        self.forward_with(input, self.backend())
+    }
+
+    /// [`CompiledNetwork::forward`] through an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match [`CompiledNetwork::input_dims`].
+    #[must_use]
+    pub fn forward_with(&self, input: &Tensor3<i16>, kind: BackendKind) -> Tensor3<i32> {
+        self.forward_batch_with(std::slice::from_ref(input), kind, 1)
             .pop()
             .expect("a batch of one produces one output")
     }
 
-    /// Runs a whole batch of inferences batch-major: every compiled layer's
-    /// retained streams are walked **once** for the entire batch (via
-    /// [`run_compiled_batch`](crate::exec::run_compiled_batch)), instead of
-    /// once per image as a [`CompiledNetwork::forward`] loop would.
+    /// Runs a whole batch of inferences through the stored default backend.
     ///
     /// Bit-identical to calling [`CompiledNetwork::forward`] on each input
     /// independently; an empty batch returns an empty vector.
@@ -350,12 +475,12 @@ impl CompiledNetwork {
     /// Panics if any input does not match [`CompiledNetwork::input_dims`].
     #[must_use]
     pub fn forward_batch(&self, inputs: &[Tensor3<i16>]) -> Vec<Tensor3<i32>> {
-        self.forward_batch_threads(inputs, 1)
+        self.forward_batch_with(inputs, self.backend(), 1)
     }
 
     /// [`CompiledNetwork::forward_batch`] with the convolution stages
-    /// parallelized over `threads` scoped worker threads (see
-    /// [`run_compiled_batch_threads`](crate::exec::run_compiled_batch_threads)).
+    /// allowed `threads` scoped worker threads (exploited by backends that
+    /// parallelize, e.g. [`BackendKind::BatchThreads`]).
     ///
     /// Results are bit-identical at every thread count; `threads == 1`
     /// spawns nothing.
@@ -370,6 +495,25 @@ impl CompiledNetwork {
         inputs: &[Tensor3<i16>],
         threads: usize,
     ) -> Vec<Tensor3<i32>> {
+        self.forward_batch_with(inputs, self.backend(), threads)
+    }
+
+    /// The fully explicit entry point every other `forward*` routes
+    /// through: executes the batch with the given [`BackendKind`] and
+    /// thread budget. Every backend produces bit-identical outputs, so the
+    /// choice only changes performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any input mismatches
+    /// [`CompiledNetwork::input_dims`].
+    #[must_use]
+    pub fn forward_batch_with(
+        &self,
+        inputs: &[Tensor3<i16>],
+        kind: BackendKind,
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
         assert!(threads > 0, "need at least one execution thread");
         for input in inputs {
             assert_eq!(
@@ -381,6 +525,7 @@ impl CompiledNetwork {
         if inputs.is_empty() {
             return Vec::new();
         }
+        let exec = backend(kind);
         let last = self.stages.len() - 1;
         let mut acts: Vec<Tensor3<i16>> = inputs.to_vec();
         for (si, stage) in self.stages.iter().enumerate() {
@@ -392,7 +537,7 @@ impl CompiledNetwork {
                             .map(|a| ucnn_model::forward::flatten_for_fc(a, layer.geom().c()))
                             .collect();
                     }
-                    let outs = crate::exec::run_compiled_batch_threads(layer, &acts, threads);
+                    let outs = exec.run_layer(layer, &acts, threads);
                     if si == last {
                         return outs;
                     }
@@ -473,6 +618,25 @@ mod tests {
         assert_eq!(layer.tiles()[0].c_first(), 0);
         assert_eq!(layer.tiles()[1].k_first(), 2);
         assert_eq!(layer.tiles()[1].c_first(), 4);
+    }
+
+    #[test]
+    fn reconstruct_filters_round_trips_exactly() {
+        // Grouped conv + ragged channel tiles + sparse weights: the streams
+        // must contain enough information to rebuild the dense tensor bit
+        // for bit (plans do not retain the weights themselves).
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 51).with_density(0.6);
+        let w = wgen.generate_dims(4, 10, 3, 3);
+        let geom = ConvGeom::new(7, 7, 10, 4, 3, 3).with_pad(1);
+        let cfg = UcnnConfig {
+            g: 2,
+            ct: 4,
+            ..UcnnConfig::default()
+        };
+        for conv_groups in [1usize, 2] {
+            let layer = CompiledLayer::compile(&geom, conv_groups, &w, &cfg);
+            assert_eq!(layer.reconstruct_filters(), w, "{conv_groups} groups");
+        }
     }
 
     #[test]

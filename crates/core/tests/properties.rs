@@ -4,11 +4,10 @@
 
 use proptest::prelude::*;
 
+use ucnn_core::backend::{backend, BackendKind};
 use ucnn_core::compile::{compile_layer, UcnnConfig};
 use ucnn_core::encoding::{rle_bits, rle_bits_capped, table_cost, EncodingParams, IitEncoding};
-use ucnn_core::exec::{
-    factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads,
-};
+use ucnn_core::exec::factorized_conv;
 use ucnn_core::factorize::FilterFactorization;
 use ucnn_core::hierarchy::GroupStream;
 use ucnn_core::plan::CompiledLayer;
@@ -163,52 +162,14 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 
-    /// Retained plans execute bit-identically to both the transient
-    /// factorized path and the dense reference, across random geometries
-    /// including `stride > 1`, `conv_groups > 1`, and `ct < C` tiling.
+    /// Every registered executor backend is bit-identical to the dense
+    /// reference over random geometries — `stride > 1`, `conv_groups > 1`,
+    /// ragged channel tiles (`ct ∤ C`), batch sizes `B ∈ {1, 2, 7, 16}` and
+    /// every tested thread count — replacing the earlier pairwise-only
+    /// equivalence checks with one all-backends property. A backend added
+    /// to [`BackendKind::ALL`] is covered automatically.
     #[test]
-    fn run_compiled_equals_factorized_and_reference(
-        seed in any::<u64>(),
-        g in 1usize..=3,
-        ct in 1usize..=6,
-        k_per_group in 1usize..=4,
-        c in 2usize..=6,
-        conv_groups in 1usize..=2,
-        stride in 1usize..=3,
-        pad in 0usize..=1,
-    ) {
-        let (w, h, r, s) = (7usize, 6usize, 3usize, 2usize);
-        let k = k_per_group * conv_groups;
-        prop_assume!(ConvGeom::validated(w, h, c, k, r, s, stride, pad).is_ok());
-        let geom = ConvGeom::validated(w, h, c, k, r, s, stride, pad).unwrap();
-        let mut state = seed | 1;
-        let mut next = move |m: i16| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as i16).rem_euclid(m) - m / 2
-        };
-        let filters = Tensor4::from_fn(k, c, r, s, |_, _, _, _| next(7));
-        let input = Tensor3::from_fn(c * conv_groups, w, h, |_, _, _| next(61));
-        let cfg = UcnnConfig { g, ct, ..UcnnConfig::default() };
-        let layer = CompiledLayer::compile(&geom, conv_groups, &filters, &cfg);
-        let compiled = run_compiled(&layer, &input);
-        // Compile once, run twice: the plan must not be consumed or mutated.
-        prop_assert_eq!(&run_compiled(&layer, &input), &compiled);
-        prop_assert_eq!(
-            &compiled,
-            &factorized_conv(&geom, conv_groups, &input, &filters, &cfg)
-        );
-        prop_assert_eq!(
-            &compiled,
-            &reference::conv2d(&geom, conv_groups, &input, &filters)
-        );
-    }
-
-    /// Batch-major execution is bit-identical to `B` independent
-    /// [`run_compiled`] calls, across random geometries including
-    /// `stride > 1`, `conv_groups > 1`, ragged channel tiles (`ct ∤ C`),
-    /// batch sizes `B ∈ {1, 2, 7, 16}`, and every tested thread count.
-    #[test]
-    fn run_compiled_batch_equals_sequential(
+    fn all_backends_bit_identical_to_reference(
         seed in any::<u64>(),
         g in 1usize..=3,
         ct in 1usize..=6,
@@ -218,7 +179,7 @@ proptest! {
         stride in 1usize..=3,
         pad in 0usize..=1,
         b_sel in 0usize..4,
-        threads in 2usize..=4,
+        threads in 1usize..=4,
     ) {
         let b = [1usize, 2, 7, 16][b_sel];
         let (w, h, r, s) = (7usize, 6usize, 3usize, 2usize);
@@ -236,14 +197,25 @@ proptest! {
             .collect();
         let cfg = UcnnConfig { g, ct, ..UcnnConfig::default() };
         let layer = CompiledLayer::compile(&geom, conv_groups, &filters, &cfg);
-        let expected: Vec<Tensor3<i32>> =
-            inputs.iter().map(|i| run_compiled(&layer, i)).collect();
-        prop_assert_eq!(&run_compiled_batch(&layer, &inputs), &expected);
-        prop_assert_eq!(
-            &run_compiled_batch_threads(&layer, &inputs, threads),
-            &expected,
-            "thread count {}", threads
-        );
+        let expected: Vec<Tensor3<i32>> = inputs
+            .iter()
+            .map(|i| reference::conv2d(&geom, conv_groups, i, &filters))
+            .collect();
+        for kind in BackendKind::ALL {
+            let exec = backend(kind);
+            let got = exec.run_layer(&layer, &inputs, threads);
+            prop_assert_eq!(
+                &got, &expected,
+                "backend '{}' diverged from the dense reference (B={}, threads={})",
+                kind.name(), b, threads
+            );
+            // Compile once, run twice: plans must not be consumed or
+            // mutated by any backend.
+            prop_assert_eq!(
+                &exec.run_layer(&layer, &inputs, threads), &got,
+                "backend '{}' is not repeatable", kind.name()
+            );
+        }
     }
 
     /// Compiled plan totals are internally consistent.

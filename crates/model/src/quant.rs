@@ -15,21 +15,16 @@ use std::fmt;
 /// rank `i` drawn with probability ∝ `ratio^i`); [`ValueDist::Uniform`] is
 /// the paper's design-space methodology for Figures 9/11/13 ("set the
 /// remaining weights to non-zero values via a uniform distribution").
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum ValueDist {
     /// Every non-zero grid value equally likely.
+    #[default]
     Uniform,
     /// Grid value of magnitude rank `i` (0 = smallest) has weight `ratio^i`.
     Geometric {
         /// Decay ratio in `(0, 1]`; `1.0` degenerates to uniform.
         ratio: f64,
     },
-}
-
-impl Default for ValueDist {
-    fn default() -> Self {
-        ValueDist::Uniform
-    }
 }
 
 /// A weight-quantization scheme: the set of representable weight values.

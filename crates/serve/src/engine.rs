@@ -20,6 +20,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use ucnn_core::backend::BackendKind;
 use ucnn_core::plan::CompiledNetwork;
 use ucnn_tensor::Tensor3;
 
@@ -44,6 +45,12 @@ pub struct EngineConfig {
     /// latency), few workers with several exec threads for large batches
     /// (high throughput per batch).
     pub exec_threads: usize,
+    /// Executor backend batched forwards run through (every backend is
+    /// bit-identical; this only changes performance). This is the last
+    /// resort of a three-tier resolution: a per-model override in the
+    /// [`ModelRegistry`] ranks first, then a preference stored on the plan
+    /// itself (`CompiledNetwork::backend_preference`), then this default.
+    pub backend: BackendKind,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +60,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             max_batch: 8,
             exec_threads: 1,
+            backend: BackendKind::BatchThreads,
         }
     }
 }
@@ -120,6 +128,10 @@ impl Pending {
 
 struct Request {
     model: Arc<CompiledNetwork>,
+    /// Backend resolved at submit time (registry override, else the plan's
+    /// preference, else the engine default) — pinned per request so a
+    /// mid-flight override change never splits one batch's semantics.
+    backend: BackendKind,
     input: Tensor3<i16>,
     enqueued_at: Instant,
     tx: mpsc::Sender<ServeResponse>,
@@ -240,6 +252,7 @@ pub struct Engine {
     queue: Arc<BoundedQueue<Request>>,
     counters: Arc<Counters>,
     workers: Vec<JoinHandle<()>>,
+    backend: BackendKind,
 }
 
 impl Engine {
@@ -273,6 +286,7 @@ impl Engine {
             queue,
             counters,
             workers,
+            backend: config.backend,
         }
     }
 
@@ -282,6 +296,26 @@ impl Engine {
         &self.registry
     }
 
+    /// The engine-wide default executor backend (per-model registry
+    /// overrides take precedence at submit time).
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Resolves the backend for a request: per-model registry override
+    /// first, then the plan's own preference
+    /// ([`CompiledNetwork::backend_preference`]), then the engine default.
+    fn resolve_backend(
+        &self,
+        override_kind: Option<BackendKind>,
+        plan: &CompiledNetwork,
+    ) -> BackendKind {
+        override_kind
+            .or_else(|| plan.backend_preference())
+            .unwrap_or(self.backend)
+    }
+
     /// Submits a request by model name, blocking while the queue is full
     /// (closed-loop backpressure).
     ///
@@ -289,15 +323,17 @@ impl Engine {
     ///
     /// Returns [`ServeError::UnknownModel`] or [`ServeError::ShuttingDown`].
     pub fn submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
-        let plan = self
+        let (plan, override_kind) = self
             .registry
-            .get(model)
+            .get_with_backend(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        self.submit_plan(plan, input)
+        let backend = self.resolve_backend(override_kind, &plan);
+        self.push_request(plan, backend, input)
     }
 
-    /// Submits a request for an already resolved plan, blocking while the
-    /// queue is full.
+    /// Submits a request for an already resolved plan (no registry
+    /// override: the plan's backend preference wins, engine default
+    /// otherwise), blocking while the queue is full.
     ///
     /// # Errors
     ///
@@ -307,16 +343,40 @@ impl Engine {
         model: Arc<CompiledNetwork>,
         input: Tensor3<i16>,
     ) -> Result<Pending, ServeError> {
+        let backend = self.resolve_backend(None, &model);
+        self.push_request(model, backend, input)
+    }
+
+    /// Builds the queued request and the handle the caller waits on — the
+    /// one place `Request` is constructed, shared by the blocking and
+    /// non-blocking submit paths.
+    fn make_request(
+        model: Arc<CompiledNetwork>,
+        backend: BackendKind,
+        input: Tensor3<i16>,
+    ) -> (Request, Pending) {
         let (tx, rx) = mpsc::channel();
+        let request = Request {
+            model,
+            backend,
+            input,
+            enqueued_at: Instant::now(),
+            tx,
+        };
+        (request, Pending { rx })
+    }
+
+    fn push_request(
+        &self,
+        model: Arc<CompiledNetwork>,
+        backend: BackendKind,
+        input: Tensor3<i16>,
+    ) -> Result<Pending, ServeError> {
+        let (request, pending) = Self::make_request(model, backend, input);
         self.queue
-            .push(Request {
-                model,
-                input,
-                enqueued_at: Instant::now(),
-                tx,
-            })
+            .push(request)
             .map_err(|_| ServeError::ShuttingDown)?;
-        Ok(Pending { rx })
+        Ok(pending)
     }
 
     /// Non-blocking submit for open-loop load: a full queue is an
@@ -327,23 +387,17 @@ impl Engine {
     /// Returns [`ServeError::UnknownModel`], [`ServeError::Overloaded`], or
     /// [`ServeError::ShuttingDown`].
     pub fn try_submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
-        let plan = self
+        let (plan, override_kind) = self
             .registry
-            .get(model)
+            .get_with_backend(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let (tx, rx) = mpsc::channel();
-        self.queue
-            .try_push(Request {
-                model: plan,
-                input,
-                enqueued_at: Instant::now(),
-                tx,
-            })
-            .map_err(|e| match e {
-                TryPushError::Full => ServeError::Overloaded,
-                TryPushError::Closed => ServeError::ShuttingDown,
-            })?;
-        Ok(Pending { rx })
+        let backend = self.resolve_backend(override_kind, &plan);
+        let (request, pending) = Self::make_request(plan, backend, input);
+        self.queue.try_push(request).map_err(|e| match e {
+            TryPushError::Full => ServeError::Overloaded,
+            TryPushError::Closed => ServeError::ShuttingDown,
+        })?;
+        Ok(pending)
     }
 
     /// Current queue depth (diagnostics).
@@ -389,22 +443,24 @@ fn worker_loop(
     exec_threads: usize,
 ) {
     while let Some(batch) = queue.pop_batch(max_batch) {
-        // Group the drained requests by model (FIFO order preserved within
-        // a group) so each group runs as ONE batch-major forward.
-        let mut groups: Vec<(Arc<CompiledNetwork>, Vec<Request>)> = Vec::new();
+        // Group the drained requests by (model, backend) — FIFO order
+        // preserved within a group — so each group runs as ONE batch-major
+        // forward through one executor.
+        type Group = (Arc<CompiledNetwork>, BackendKind, Vec<Request>);
+        let mut groups: Vec<Group> = Vec::new();
         for req in batch {
-            match groups
-                .iter_mut()
-                .find(|(model, _)| Arc::ptr_eq(model, &req.model))
-            {
-                Some((_, requests)) => requests.push(req),
+            match groups.iter_mut().find(|(model, backend, _)| {
+                Arc::ptr_eq(model, &req.model) && *backend == req.backend
+            }) {
+                Some((_, _, requests)) => requests.push(req),
                 None => {
                     let model = Arc::clone(&req.model);
-                    groups.push((model, vec![req]));
+                    let backend = req.backend;
+                    groups.push((model, backend, vec![req]));
                 }
             }
         }
-        for (model, requests) in groups {
+        for (model, backend, requests) in groups {
             let batch_size = requests.len();
             counters.record_batch(batch_size);
             let mut inputs = Vec::with_capacity(batch_size);
@@ -414,7 +470,7 @@ fn worker_loop(
                 receipts.push((req.tx, req.enqueued_at));
             }
             let start = Instant::now();
-            let outputs = model.forward_batch_threads(&inputs, exec_threads);
+            let outputs = model.forward_batch_with(&inputs, backend, exec_threads);
             let completed_at = Instant::now();
             let service_ns = ns(completed_at.duration_since(start));
             for ((tx, enqueued_at), output) in receipts.into_iter().zip(outputs) {
@@ -442,7 +498,9 @@ mod tests {
     use ucnn_core::compile::UcnnConfig;
     use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
 
-    fn tiny_engine(workers: usize) -> (Engine, Vec<(Tensor3<i16>, Tensor3<i32>)>) {
+    type Cases = Vec<(Tensor3<i16>, Tensor3<i32>)>;
+
+    fn tiny_engine(workers: usize) -> (Engine, Cases) {
         let registry = Arc::new(ModelRegistry::new());
         let net = networks::tiny();
         let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 11, 0.9);
@@ -462,6 +520,7 @@ mod tests {
                 queue_capacity: 32,
                 max_batch: 4,
                 exec_threads: 1,
+                ..EngineConfig::default()
             },
         );
         (engine, cases)
@@ -543,6 +602,7 @@ mod tests {
                 queue_capacity: 32,
                 max_batch: 8,
                 exec_threads: 2,
+                ..EngineConfig::default()
             },
         );
         let pendings: Vec<_> = (0..9)
@@ -555,6 +615,118 @@ mod tests {
             let resp = pending.wait().unwrap();
             assert_eq!(resp.output, cases[i % cases.len()].1, "request {i}");
         }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn every_backend_serves_bit_exact_responses() {
+        // The engine backend knob changes only performance: responses must
+        // match the dense reference under every registered backend.
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 41, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let mut agen = ActivationGen::new(42);
+        let cases: Vec<_> = (0..3)
+            .map(|_| {
+                let input = agen.generate_for(&net.conv_layers()[0]);
+                let expected = forward::dense_forward(&net, &weights, &input);
+                (input, expected)
+            })
+            .collect();
+        for backend in BackendKind::ALL {
+            let engine = Engine::start(
+                Arc::clone(&registry),
+                EngineConfig {
+                    workers: 2,
+                    queue_capacity: 16,
+                    max_batch: 4,
+                    exec_threads: 1,
+                    backend,
+                },
+            );
+            assert_eq!(engine.backend(), backend);
+            let pendings: Vec<_> = (0..6)
+                .map(|i| {
+                    let (input, _) = &cases[i % cases.len()];
+                    engine.submit("tiny", input.clone()).unwrap()
+                })
+                .collect();
+            for (i, pending) in pendings.into_iter().enumerate() {
+                let resp = pending.wait().unwrap();
+                assert_eq!(
+                    resp.output,
+                    cases[i % cases.len()].1,
+                    "backend {backend} request {i}"
+                );
+            }
+            let _ = engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn per_model_backend_override_takes_precedence() {
+        // Registry override (flattened) vs engine default (batch-threads):
+        // both must serve bit-exact outputs; the override path is exercised
+        // by resolving through submit().
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 43, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(registry.set_backend("tiny", Some(BackendKind::Flattened)));
+        let mut agen = ActivationGen::new(44);
+        let input = agen.generate_for(&net.conv_layers()[0]);
+        let expected = forward::dense_forward(&net, &weights, &input);
+        let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+        let resp = engine
+            .submit("tiny", input.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.output, expected);
+        // Clearing the override falls back to the engine default.
+        assert!(registry.set_backend("tiny", None));
+        let resp = engine.submit("tiny", input).unwrap().wait().unwrap();
+        assert_eq!(resp.output, expected);
+        let stats = engine.shutdown();
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn plan_backend_preference_beats_engine_default_but_not_override() {
+        // Resolution order at submit time: registry override, then the
+        // plan's own `set_backend` preference, then the engine default.
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 45, 0.9);
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2))
+            .with_backend(BackendKind::Flattened);
+        let plan = registry.insert(compiled);
+        let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+        assert_eq!(engine.backend(), BackendKind::BatchThreads);
+        assert_eq!(
+            engine.resolve_backend(None, &plan),
+            BackendKind::Flattened,
+            "plan preference must beat the engine default"
+        );
+        assert_eq!(
+            engine.resolve_backend(Some(BackendKind::Compiled), &plan),
+            BackendKind::Compiled,
+            "registry override must beat the plan preference"
+        );
+        let no_pref = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        assert_eq!(no_pref.backend_preference(), None);
+        assert_eq!(
+            engine.resolve_backend(None, &no_pref),
+            BackendKind::BatchThreads,
+            "no preference falls back to the engine default"
+        );
+        // And the preferred backend actually serves bit-exact responses.
+        let mut agen = ActivationGen::new(46);
+        let input = agen.generate_for(&net.conv_layers()[0]);
+        let expected = forward::dense_forward(&net, &weights, &input);
+        let resp = engine.submit("tiny", input).unwrap().wait().unwrap();
+        assert_eq!(resp.output, expected);
         let _ = engine.shutdown();
     }
 
@@ -592,6 +764,7 @@ mod tests {
                 queue_capacity: 32,
                 max_batch: 8,
                 exec_threads: 1,
+                ..EngineConfig::default()
             },
         );
         let pendings: Vec<_> = cases

@@ -279,11 +279,15 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(u64::MAX);
         h.record(u64::MAX - 1);
-        assert_eq!(h.count(), 2);
+        h.record(5);
+        assert_eq!(h.count(), 3);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.percentile(1.0), u64::MAX);
-        // The reported quantile is capped at the exact max, never beyond.
-        assert!(h.percentile(0.5) <= u64::MAX);
+        // A low quantile lands in the small sample's bucket, not the
+        // saturated top octave; the top-octave quantile is capped at the
+        // exact max, never a (would-be overflowing) bucket edge beyond it.
+        assert_eq!(h.percentile(0.1), 5);
+        assert_eq!(h.percentile(0.9), u64::MAX);
         assert!(index_of(u64::MAX) < BUCKETS);
     }
 

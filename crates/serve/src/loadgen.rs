@@ -284,6 +284,7 @@ mod tests {
                 queue_capacity,
                 max_batch: 4,
                 exec_threads: 1,
+                ..EngineConfig::default()
             },
         );
         (engine, cases)

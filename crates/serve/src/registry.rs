@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+use ucnn_core::backend::BackendKind;
 use ucnn_core::compile::UcnnConfig;
 use ucnn_core::plan::CompiledNetwork;
 use ucnn_model::NetworkSpec;
@@ -30,7 +31,14 @@ use ucnn_tensor::Tensor4;
 /// ```
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: RwLock<HashMap<String, Arc<CompiledNetwork>>>,
+    models: RwLock<HashMap<String, Entry>>,
+}
+
+/// One registered model: the shared plan plus an optional per-model
+/// executor-backend override (engine-wide default applies when `None`).
+struct Entry {
+    plan: Arc<CompiledNetwork>,
+    backend: Option<BackendKind>,
 }
 
 impl ModelRegistry {
@@ -41,13 +49,25 @@ impl ModelRegistry {
     }
 
     /// Inserts an already compiled network under its own name, returning
-    /// the shared handle (and replacing any previous model of that name).
+    /// the shared handle.
+    ///
+    /// Re-inserting a name **atomically replaces** the plan: lookups after
+    /// this call return the new plan, while requests already holding the
+    /// old `Arc` keep serving the old one to completion (plans are
+    /// immutable, so no request ever observes a half-swapped model). A
+    /// per-model backend override set via [`ModelRegistry::set_backend`]
+    /// survives the replacement.
     pub fn insert(&self, model: CompiledNetwork) -> Arc<CompiledNetwork> {
         let arc = Arc::new(model);
-        self.models
-            .write()
-            .expect("registry poisoned")
-            .insert(arc.name().to_string(), Arc::clone(&arc));
+        let mut models = self.models.write().expect("registry poisoned");
+        let backend = models.get(arc.name()).and_then(|entry| entry.backend);
+        models.insert(
+            arc.name().to_string(),
+            Entry {
+                plan: Arc::clone(&arc),
+                backend,
+            },
+        );
         arc
     }
 
@@ -69,7 +89,51 @@ impl ModelRegistry {
             .read()
             .expect("registry poisoned")
             .get(name)
-            .cloned()
+            .map(|entry| Arc::clone(&entry.plan))
+    }
+
+    /// Looks up a model together with its per-model backend override
+    /// (`None` = use the engine-wide default) in one lock acquisition.
+    #[must_use]
+    pub fn get_with_backend(
+        &self,
+        name: &str,
+    ) -> Option<(Arc<CompiledNetwork>, Option<BackendKind>)> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .map(|entry| (Arc::clone(&entry.plan), entry.backend))
+    }
+
+    /// Sets (or with `None` clears) the per-model executor-backend
+    /// override. Returns `false` if no model of that name is registered.
+    ///
+    /// The override takes effect for requests submitted after the call;
+    /// every backend is bit-identical, so switching is always safe.
+    pub fn set_backend(&self, name: &str, backend: Option<BackendKind>) -> bool {
+        match self
+            .models
+            .write()
+            .expect("registry poisoned")
+            .get_mut(name)
+        {
+            Some(entry) => {
+                entry.backend = backend;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The per-model backend override, if any.
+    #[must_use]
+    pub fn backend_override(&self, name: &str) -> Option<BackendKind> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .and_then(|entry| entry.backend)
     }
 
     /// Registered model names, sorted.
@@ -137,5 +201,70 @@ mod tests {
         assert!(Arc::ptr_eq(&b, &current));
         assert!(!Arc::ptr_eq(&a, &current));
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn in_flight_arcs_keep_serving_the_old_plan_across_reinsert() {
+        // A request that resolved its plan before a hot-swap must finish
+        // against the *old* weights, bit-exactly, while new lookups get the
+        // new plan — the registry's atomic-replace contract.
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let w_old = forward::generate_network_weights(&net, QuantScheme::inq(), 5, 0.9);
+        let w_new = forward::generate_network_weights(&net, QuantScheme::inq(), 6, 0.9);
+        let old = registry.compile_and_insert(&net, &w_old, &UcnnConfig::with_g(2));
+
+        let mut agen = ucnn_model::ActivationGen::new(7);
+        let input = agen.generate_for(&net.conv_layers()[0]);
+        let expect_old = forward::dense_forward(&net, &w_old, &input);
+        let expect_new = forward::dense_forward(&net, &w_new, &input);
+        assert_ne!(
+            expect_old, expect_new,
+            "seeds must produce distinct weights"
+        );
+
+        let new = registry.compile_and_insert(&net, &w_new, &UcnnConfig::with_g(2));
+        // The held Arc still serves the old weights...
+        assert_eq!(old.forward(&input), expect_old);
+        // ...while fresh lookups atomically see the replacement.
+        let current = registry.get("tiny").unwrap();
+        assert!(Arc::ptr_eq(&new, &current));
+        assert_eq!(current.forward(&input), expect_new);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn backend_override_set_clear_and_reinsert_survival() {
+        use ucnn_core::backend::BackendKind;
+
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let w1 = forward::generate_network_weights(&net, QuantScheme::inq(), 8, 0.9);
+        assert!(
+            !registry.set_backend("tiny", Some(BackendKind::Flattened)),
+            "override on an absent model must be rejected"
+        );
+        registry.compile_and_insert(&net, &w1, &UcnnConfig::with_g(2));
+        assert_eq!(registry.backend_override("tiny"), None);
+
+        assert!(registry.set_backend("tiny", Some(BackendKind::Flattened)));
+        assert_eq!(
+            registry.backend_override("tiny"),
+            Some(BackendKind::Flattened)
+        );
+        let (_, kind) = registry.get_with_backend("tiny").unwrap();
+        assert_eq!(kind, Some(BackendKind::Flattened));
+
+        // A model hot-swap keeps the operator's backend choice.
+        let w2 = forward::generate_network_weights(&net, QuantScheme::inq(), 9, 0.9);
+        registry.compile_and_insert(&net, &w2, &UcnnConfig::with_g(2));
+        assert_eq!(
+            registry.backend_override("tiny"),
+            Some(BackendKind::Flattened)
+        );
+
+        assert!(registry.set_backend("tiny", None));
+        assert_eq!(registry.backend_override("tiny"), None);
+        assert!(registry.get_with_backend("missing").is_none());
     }
 }

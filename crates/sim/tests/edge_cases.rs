@@ -1,0 +1,215 @@
+//! Edge-case coverage for the accelerator simulator: single-lane chips,
+//! bank-conflict behavior at saturated vector widths, and zero-work tiles.
+//!
+//! These are the degenerate corners the chip/lane/banking models must not
+//! fall over in: a chip provisioned down to one PE, a banked input buffer
+//! with more lanes than filter rows (or exactly one bank), and streams that
+//! retain no entries at all because every weight is zero.
+
+use ucnn_core::hierarchy::GroupStream;
+use ucnn_model::{networks, QuantScheme, WeightGen};
+use ucnn_sim::banking::BankedInputBuffer;
+use ucnn_sim::chip::Simulator;
+use ucnn_sim::config::ArchConfig;
+use ucnn_sim::lane::{run_lane, LaneConfig};
+use ucnn_tensor::Tensor4;
+
+// ---------------------------------------------------------------------------
+// Single-lane chips.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_pe_chip_simulates_and_is_never_faster_than_full_chip() {
+    // A chip scaled down to one PE must still produce a coherent report —
+    // and take at least as many cycles as the 32-PE design on the same
+    // layer (work conservation; energy totals stay positive).
+    let net = networks::tiny();
+    let layer = &net.conv_layers()[0];
+    let mut gen = WeightGen::new(QuantScheme::inq(), 7).with_density(0.9);
+    let weights = gen.generate(layer);
+
+    let mut single = ArchConfig::ucnn(17, 16);
+    single.pes = 1;
+    single.name = "UCNN U17 single-PE".to_string();
+    let full = ArchConfig::ucnn(17, 16);
+
+    let one = Simulator::new(single).simulate_layer(layer, &weights, 0.35);
+    let many = Simulator::new(full).simulate_layer(layer, &weights, 0.35);
+
+    assert!(one.cycles > 0.0 && one.ideal_cycles > 0.0);
+    assert!(one.ideal_cycles <= one.cycles * (1.0 + 1e-9));
+    assert!(one.energy.total_pj() > 0.0);
+    assert!(
+        one.cycles >= many.cycles,
+        "1 PE ({}) beat 32 PEs ({})",
+        one.cycles,
+        many.cycles
+    );
+}
+
+#[test]
+fn single_lane_pe_with_no_queue_is_exact_and_slowest() {
+    // The most starved lane provisioning — one multiply per cycle, zero
+    // dispatch queue — must still be arithmetically exact, and any added
+    // provisioning can only reduce cycles.
+    let mut gen = WeightGen::new(QuantScheme::inq(), 11).with_density(0.9);
+    let w = gen.generate_dims(2, 16, 3, 3);
+    let slices: Vec<&[i16]> = vec![w.filter(0), w.filter(1)];
+    let stream = GroupStream::build(&slices);
+    let acts: Vec<i16> = (0..stream.tile_len())
+        .map(|i| (i % 23) as i16 - 11)
+        .collect();
+    let dense = |f: &[i16]| -> i32 {
+        f.iter()
+            .zip(&acts)
+            .map(|(&w, &x)| i32::from(w) * i32::from(x))
+            .sum()
+    };
+
+    let starved = run_lane(
+        &stream,
+        &acts,
+        &LaneConfig {
+            group_cap: 16,
+            mult_throughput: 1,
+            queue_depth: 0,
+        },
+    );
+    assert_eq!(
+        starved.outputs,
+        vec![dense(w.filter(0)), dense(w.filter(1))]
+    );
+
+    for (throughput, depth) in [(1usize, 2usize), (2, 0), (2, 4), (4, 8)] {
+        let better = run_lane(
+            &stream,
+            &acts,
+            &LaneConfig {
+                group_cap: 16,
+                mult_throughput: throughput,
+                queue_depth: depth,
+            },
+        );
+        assert_eq!(better.outputs, starved.outputs);
+        assert!(
+            better.cycles <= starved.cycles,
+            "throughput {throughput} depth {depth}: {} > {}",
+            better.cycles,
+            starved.cycles
+        );
+        assert!(better.stall_cycles <= starved.stall_cycles);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bank-conflict saturation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn banking_stays_conflict_free_when_vw_exceeds_r() {
+    // Saturated spatial vectorization: more lanes than filter rows (VW > R,
+    // up to VW = 8 against R = 1). The §IV-D fill strategy must still give
+    // every vector slot of one indirection a distinct bank.
+    for r in 1..=3usize {
+        for vw in [4usize, 8] {
+            let buf = BankedInputBuffer::new(r, 3, 4, vw);
+            for rr in 0..r {
+                for s in 0..3 {
+                    for c in 0..4 {
+                        let banks: std::collections::HashSet<usize> =
+                            (0..vw).map(|v| buf.bank(rr, s, c, v)).collect();
+                        assert_eq!(banks.len(), vw, "collision at R={r} VW={vw}");
+                    }
+                }
+            }
+            // Every slot must stay addressable within the reported bank size.
+            for rr in 0..r {
+                for s in 0..3 {
+                    for c in 0..4 {
+                        for v in 0..vw {
+                            assert!(buf.addr(rr, s, c, v) < buf.addresses_per_bank());
+                        }
+                    }
+                }
+            }
+            assert!(buf.storage_overhead() < 0.5, "R={r} VW={vw}");
+        }
+    }
+}
+
+#[test]
+fn single_bank_buffer_degenerates_cleanly() {
+    // VW = 1: one bank, no vectorization. Everything lands in bank 0 with
+    // injective addresses and zero storage overhead.
+    let buf = BankedInputBuffer::new(3, 3, 8, 1);
+    let mut seen = std::collections::HashSet::new();
+    for r in 0..3 {
+        for s in 0..3 {
+            for c in 0..8 {
+                let slot = buf.slot(r, s, c, 0);
+                assert_eq!(slot.bank, 0);
+                assert!(
+                    seen.insert(slot.addr),
+                    "duplicate address {} at ({r},{s},{c})",
+                    slot.addr
+                );
+            }
+        }
+    }
+    assert_eq!(buf.storage_overhead(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-work tiles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_zero_stream_runs_in_zero_cycles() {
+    // Every weight zero → the union rule drops every position: the lane
+    // has nothing to read, nothing to multiply, and outputs exact zeros.
+    let z = [0i16; 12];
+    let stream = GroupStream::build(&[&z, &z]);
+    assert_eq!(stream.entry_count(), 0);
+    let acts = [7i16; 12];
+    let trace = run_lane(&stream, &acts, &LaneConfig::default());
+    assert_eq!(trace.cycles, 0);
+    assert_eq!(trace.multiplies, 0);
+    assert_eq!(trace.adds, 0);
+    assert_eq!(trace.stall_cycles, 0);
+    assert_eq!(trace.outputs, vec![0, 0]);
+}
+
+#[test]
+fn chip_simulation_survives_all_zero_weights() {
+    // A layer whose weights are entirely zero is all zero-work tiles: the
+    // UCNN walk retains no entries, so PE data cycles collapse while the
+    // report stays finite and non-negative everywhere.
+    let net = networks::tiny();
+    let layer = &net.conv_layers()[0];
+    let geom = layer.geom();
+    let zeros = Tensor4::from_fn(geom.k(), geom.c(), geom.r(), geom.s(), |_, _, _, _| 0i16);
+
+    for arch in [
+        ArchConfig::dcnn(16),
+        ArchConfig::dcnn_sp(16),
+        ArchConfig::ucnn(17, 16),
+    ] {
+        let name = arch.name.clone();
+        let report = Simulator::new(arch).simulate_layer(layer, &zeros, 0.35);
+        assert!(report.cycles.is_finite() && report.cycles >= 0.0, "{name}");
+        assert!(
+            report.ideal_cycles.is_finite() && report.ideal_cycles >= 0.0,
+            "{name}"
+        );
+        assert!(report.energy.total_pj().is_finite(), "{name}");
+        assert!(report.energy.total_pj() >= 0.0, "{name}");
+        assert!(report.model_bits >= 0.0, "{name}");
+    }
+
+    // And a zero-work layer must cost no more than a dense one on UCNN.
+    let mut gen = WeightGen::new(QuantScheme::inq(), 3).with_density(0.9);
+    let dense_w = gen.generate(layer);
+    let zero_rep = Simulator::new(ArchConfig::ucnn(17, 16)).simulate_layer(layer, &zeros, 0.35);
+    let dense_rep = Simulator::new(ArchConfig::ucnn(17, 16)).simulate_layer(layer, &dense_w, 0.35);
+    assert!(zero_rep.cycles <= dense_rep.cycles);
+}

@@ -5,7 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release --example serve_stress -- \
-//!     [--quick] [--workers N] [--rate HZ] [--batch N] [--threads N]
+//!     [--quick] [--workers N] [--rate HZ] [--batch N] [--threads N] \
+//!     [--backend NAME]
 //! ```
 //!
 //! * `--quick` — small burst sizes (CI smoke configuration).
@@ -14,6 +15,10 @@
 //! * `--batch N` — max requests per batched forward (default 8).
 //! * `--threads N` — scoped exec threads inside each batched forward
 //!   (default 1).
+//! * `--backend NAME` — executor backend (`factorized`, `compiled`,
+//!   `batch`, `batch-threads`, `flattened`; default `batch-threads`).
+//!   Every backend is bit-identical, so this only changes performance —
+//!   the CI backend matrix drives this flag across all five.
 //!
 //! Every dynamic batch a worker drains executes as one batch-major forward
 //! walking the retained streams once for the whole batch; the printed batch
@@ -25,15 +30,15 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use ucnn::core::backend::BackendKind;
 use ucnn::core::compile::UcnnConfig;
 use ucnn::model::{forward, networks, ActivationGen, QuantScheme};
 use ucnn::serve::{loadgen, Engine, EngineConfig, LoadReport, ModelRegistry};
 
+use ucnn_bench::cli::arg_value as arg_str;
+
 fn arg_value(args: &[String], flag: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    arg_str(args, flag).and_then(|v| v.parse().ok())
 }
 
 fn print_report(report: &LoadReport) {
@@ -61,6 +66,16 @@ fn main() -> ExitCode {
     let rate = arg_value(&args, "--rate").unwrap_or(200) as f64;
     let max_batch = arg_value(&args, "--batch").unwrap_or(8);
     let exec_threads = arg_value(&args, "--threads").unwrap_or(1);
+    let backend = match arg_str(&args, "--backend") {
+        Some(name) => match name.parse::<BackendKind>() {
+            Ok(kind) => kind,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => BackendKind::BatchThreads,
+    };
     let (clients, iters, open_requests) = if quick { (2, 10, 40) } else { (8, 50, 400) };
 
     // Compile once: the registry holds the immutable plan workers share.
@@ -95,12 +110,13 @@ fn main() -> ExitCode {
             workers,
             max_batch,
             exec_threads,
+            backend,
             ..EngineConfig::default()
         },
     );
     println!(
         "engine up: {workers} workers, max batch {max_batch}, \
-         {exec_threads} exec thread(s) per batch\n"
+         {exec_threads} exec thread(s) per batch, '{backend}' backend\n"
     );
 
     let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
