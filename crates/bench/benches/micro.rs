@@ -165,17 +165,20 @@ fn backend_filter() -> Option<BackendKind> {
 }
 
 fn bench_backend_comparison(c: &mut Criterion) {
-    // The acceptance bar for the flattened backend: at B = 1 on an
-    // FC-shaped layer, the branch-free prefix-difference walk must be
-    // >= 1.3x the `compiled` scalar stream walk — no per-entry decode, no
-    // closure branching, one multiply per CSR segment.
+    // Two acceptance bars live in these groups, both on the FC shape:
+    // `flattened` at B = 1 must be >= 1.3x the `compiled` scalar stream
+    // walk (no per-entry decode, no closure branching, one multiply per
+    // CSR segment), and `flattened-batch` at B = 8 must be >= 2x
+    // `flattened` — one indirection walk feeds eight batch-interleaved
+    // SIMD lanes, so the gather/segment bookkeeping is paid once per chunk
+    // instead of once per image.
     let geom = ConvGeom::new(1, 1, 1024, 32, 1, 1);
     let mut wgen = WeightGen::new(QuantScheme::inq(), 13).with_density(0.9);
     let w = wgen.generate_dims(32, 1024, 1, 1);
     let plan = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(2));
     let mut agen = ActivationGen::new(14);
     let only = backend_filter();
-    for batch in [1usize, 8] {
+    for batch in [1usize, 8, 16] {
         let inputs: Vec<_> = (0..batch).map(|_| agen.generate(1024, 1, 1)).collect();
         let name = format!("fc_1024_to_32_backend_b{batch}");
         let mut g = c.benchmark_group(&name);

@@ -13,8 +13,11 @@
 //! serving tables plus the per-request vs batch-major throughput table).
 //! `--backend NAME` selects the executor backend the `serve` experiment
 //! drives the engine with (`factorized`, `compiled`, `batch`,
-//! `batch-threads`, `flattened`); the `backends` experiment prints the
-//! all-backends comparison table. With `--out DIR` every table is also
+//! `batch-threads`, `flattened`, `flattened-batch`); the `backends`
+//! experiment prints the all-backends comparison table **and writes it as
+//! machine-readable `BENCH_backends.json`** (into `--out DIR` when given,
+//! the working directory otherwise) so the perf trajectory of the executor
+//! backends is tracked across commits. With `--out DIR` every table is also
 //! written as `DIR/<experiment>.csv`.
 
 use std::path::PathBuf;
@@ -131,6 +134,18 @@ fn main() -> ExitCode {
                     eprintln!("cannot write {}: {err}", path.display());
                     return ExitCode::FAILURE;
                 }
+            }
+            // The backend comparison doubles as the perf trajectory of the
+            // executors: always emit it machine-readable alongside the
+            // pretty table.
+            if name == "backends" {
+                let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+                let path = dir.join("BENCH_backends.json");
+                if let Err(err) = table.write_json(&path) {
+                    eprintln!("cannot write {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
             }
         }
     }

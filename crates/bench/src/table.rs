@@ -44,6 +44,104 @@ impl TableOut {
         }
         Ok(())
     }
+
+    /// Renders the table as a machine-readable JSON document: an object
+    /// with the `title` and one object per row keyed by the column names.
+    /// Cells that are valid JSON number literals are emitted as numbers,
+    /// everything else as strings — so perf-trajectory tooling can consume
+    /// the measurements without re-parsing the pretty-printed table.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        /// Exactly RFC 8259's number grammar — Rust's float parser accepts
+        /// a superset (".5", "5.", "+1", "inf"), and emitting any of those
+        /// verbatim would corrupt the whole document.
+        fn is_json_number(cell: &str) -> bool {
+            let s = cell.strip_prefix('-').unwrap_or(cell);
+            let bytes = s.as_bytes();
+            let mut i = 0usize;
+            // int = "0" / digit1-9 *DIGIT
+            match bytes.first() {
+                Some(b'0') => i = 1,
+                Some(b'1'..=b'9') => {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                _ => return false,
+            }
+            // frac = "." 1*DIGIT
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == start {
+                    return false;
+                }
+            }
+            // exp = ("e" / "E") ["-" / "+"] 1*DIGIT
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'-' || bytes[i] == b'+') {
+                    i += 1;
+                }
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == start {
+                    return false;
+                }
+            }
+            i == bytes.len()
+        }
+        fn cell_value(cell: &str) -> String {
+            if is_json_number(cell) {
+                cell.to_string()
+            } else {
+                format!("\"{}\"", esc(cell))
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"title\": \"{}\",\n", esc(&self.title)));
+        s.push_str("  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .header
+                .iter()
+                .zip(row)
+                .map(|(key, cell)| format!("\"{}\": {}", esc(key), cell_value(cell)))
+                .collect();
+            let comma = if ri + 1 < self.rows.len() { "," } else { "" };
+            s.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes [`TableOut::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation/writing.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
 }
 
 impl fmt::Display for TableOut {
@@ -124,6 +222,44 @@ mod tests {
         t.write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(&dir).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn json_rows_keyed_by_header_with_typed_cells() {
+        let mut t = TableOut::new("perf \"trajectory\"", &["backend", "per_image_us", "note"]);
+        t.push_row(vec![
+            "flattened-batch".into(),
+            "11.39".into(),
+            "8 lanes".into(),
+        ]);
+        t.push_row(vec!["compiled".into(), "156.68".into(), "3.1%".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"perf \\\"trajectory\\\"\""));
+        assert!(json.contains("\"backend\": \"flattened-batch\", \"per_image_us\": 11.39"));
+        // Percentages stay strings; numbers stay numbers.
+        assert!(json.contains("\"note\": \"3.1%\""));
+        assert!(json.contains("\"per_image_us\": 156.68"));
+        // Rust-parseable but JSON-invalid number shapes must be quoted.
+        let mut tricky = TableOut::new("t", &["a", "b", "c", "d", "e", "f"]);
+        tricky.push_row(vec![
+            ".5".into(),
+            "5.".into(),
+            "+1".into(),
+            "inf".into(),
+            "01".into(),
+            "1.5e2".into(),
+        ]);
+        let tj = tricky.to_json();
+        assert!(tj.contains("\"a\": \".5\""), "{tj}");
+        assert!(tj.contains("\"b\": \"5.\""), "{tj}");
+        assert!(tj.contains("\"c\": \"+1\""), "{tj}");
+        assert!(tj.contains("\"d\": \"inf\""), "{tj}");
+        assert!(tj.contains("\"e\": \"01\""), "{tj}");
+        assert!(tj.contains("\"f\": 1.5e2"), "{tj}"); // valid JSON exp form
+        let dir = std::env::temp_dir().join("ucnn_table_test.json");
+        t.write_json(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(&dir).unwrap(), json);
         let _ = std::fs::remove_file(dir);
     }
 

@@ -1,4 +1,4 @@
-//! Pluggable executor backends: one trait, five interchangeable inner-loop
+//! Pluggable executor backends: one trait, six interchangeable inner-loop
 //! shapes over the same retained plans.
 //!
 //! Every UCNN execution strategy computes the *same* arithmetic as the dense
@@ -18,6 +18,7 @@
 //! | [`BackendKind::Batch`] | one batch-major walk, entry decode amortized over B | B ≥ 2, single core |
 //! | [`BackendKind::BatchThreads`] | batch-major + scoped threads over filter bands × batch chunks | B ≥ 2, multiple cores |
 //! | [`BackendKind::Flattened`] | branch-free gathers + CSR prefix-difference groups | B = 1 latency, FC / unpadded shapes |
+//! | [`BackendKind::FlattenedBatch`] | flattened walk over batch-interleaved SIMD lanes | B ≥ 2; the serving throughput backend |
 //!
 //! New executors implement [`Backend`], get a [`BackendKind`] variant, and
 //! inherit the whole conformance suite for free.
@@ -25,7 +26,7 @@
 use ucnn_tensor::{Tensor3, Tensor4};
 
 use crate::exec::{factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads};
-use crate::flatten::run_flattened_batch;
+use crate::flatten::{run_flattened_batch, run_flattened_batch_interleaved};
 use crate::plan::CompiledLayer;
 
 /// Selects one of the registered executor backends.
@@ -45,16 +46,22 @@ pub enum BackendKind {
     /// Branch-free flattened execution (`run_flattened_batch`): compile-time
     /// lowered gather offsets and CSR group ranges, no entry decode.
     Flattened,
+    /// Flattened execution over batch-interleaved SIMD lanes
+    /// (`run_flattened_batch_interleaved`): one indirection walk per lane
+    /// chunk feeds up to [`LANE_WIDTH`](crate::flatten::LANE_WIDTH)
+    /// contiguous image lanes the autovectorizer widens to SIMD.
+    FlattenedBatch,
 }
 
 impl BackendKind {
     /// Every registered backend, in registry order.
-    pub const ALL: [BackendKind; 5] = [
+    pub const ALL: [BackendKind; 6] = [
         BackendKind::Factorized,
         BackendKind::Compiled,
         BackendKind::Batch,
         BackendKind::BatchThreads,
         BackendKind::Flattened,
+        BackendKind::FlattenedBatch,
     ];
 
     /// Stable CLI/config name of the backend.
@@ -66,13 +73,18 @@ impl BackendKind {
             BackendKind::Batch => "batch",
             BackendKind::BatchThreads => "batch-threads",
             BackendKind::Flattened => "flattened",
+            BackendKind::FlattenedBatch => "flattened-batch",
         }
     }
 
-    /// Parses a [`BackendKind::name`] (also accepting `_` for `-`).
+    /// Parses a [`BackendKind::name`] (also accepting `_` for `-`, and the
+    /// `flattened-simd` working name for [`BackendKind::FlattenedBatch`]).
     #[must_use]
     pub fn parse(name: &str) -> Option<BackendKind> {
         let name = name.replace('_', "-");
+        if name == "flattened-simd" {
+            return Some(BackendKind::FlattenedBatch);
+        }
         BackendKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
@@ -126,6 +138,15 @@ pub trait Backend: Send + Sync {
         inputs: &[Tensor3<i16>],
         threads: usize,
     ) -> Vec<Tensor3<i32>>;
+
+    /// Eagerly builds whatever lazily derived execution state this backend
+    /// needs for `layer` (a no-op for most backends). The flattened
+    /// backends force the `OnceLock` lowering here so the first request
+    /// after deploy does not pay lowering latency in its tail — see
+    /// [`CompiledNetwork::warm`](crate::plan::CompiledNetwork::warm).
+    fn warm(&self, layer: &CompiledLayer) {
+        let _ = layer;
+    }
 }
 
 struct FactorizedBackend;
@@ -228,6 +249,31 @@ impl Backend for FlattenedBackend {
     ) -> Vec<Tensor3<i32>> {
         run_flattened_batch(layer, inputs, threads)
     }
+
+    fn warm(&self, layer: &CompiledLayer) {
+        let _ = layer.flat_tiles();
+    }
+}
+
+struct FlattenedBatchBackend;
+
+impl Backend for FlattenedBatchBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::FlattenedBatch
+    }
+
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        run_flattened_batch_interleaved(layer, inputs, threads)
+    }
+
+    fn warm(&self, layer: &CompiledLayer) {
+        let _ = layer.flat_tiles();
+    }
 }
 
 /// Resolves a [`BackendKind`] to its (stateless, `'static`) implementation.
@@ -239,6 +285,7 @@ pub fn backend(kind: BackendKind) -> &'static dyn Backend {
         BackendKind::Batch => &BatchBackend,
         BackendKind::BatchThreads => &BatchThreadsBackend,
         BackendKind::Flattened => &FlattenedBackend,
+        BackendKind::FlattenedBatch => &FlattenedBatchBackend,
     }
 }
 
@@ -269,8 +316,31 @@ mod tests {
             BackendKind::parse("batch_threads"),
             Some(BackendKind::BatchThreads)
         );
+        assert_eq!(
+            BackendKind::parse("flattened_batch"),
+            Some(BackendKind::FlattenedBatch)
+        );
+        // The working name from the design phase stays accepted.
+        assert_eq!(
+            BackendKind::parse("flattened-simd"),
+            Some(BackendKind::FlattenedBatch)
+        );
         assert!(BackendKind::parse("nope").is_none());
         assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn warm_forces_flattened_lowering_only_where_needed() {
+        let geom = ConvGeom::new(5, 5, 3, 2, 3, 3);
+        let mut wgen = WeightGen::new(QuantScheme::inq(), 19).with_density(0.8);
+        let weights = wgen.generate_dims(2, 3, 3, 3);
+        for kind in BackendKind::ALL {
+            let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+            assert!(!layer.flat_ready());
+            backend(kind).warm(&layer);
+            let expects_flat = matches!(kind, BackendKind::Flattened | BackendKind::FlattenedBatch);
+            assert_eq!(layer.flat_ready(), expects_flat, "backend {kind}");
+        }
     }
 
     #[test]

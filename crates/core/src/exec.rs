@@ -65,6 +65,7 @@ pub fn factorized_conv(
     let canonical = canonical_of_tensor(filters);
 
     let mut out = Tensor3::<i32>::zeros(geom.k(), out_w, out_h);
+    let (mut psum, mut reg) = (Vec::new(), Vec::new());
 
     for cg in 0..conv_groups {
         let k_base = cg * k_per_group;
@@ -91,6 +92,8 @@ pub fn factorized_conv(
                     pad,
                     out_w,
                     out_h,
+                    &mut psum,
+                    &mut reg,
                 );
                 c0 = c1;
             }
@@ -146,6 +149,7 @@ pub fn run_compiled(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32>
     let pad = geom.pad() as isize;
 
     let mut out = Tensor3::<i32>::zeros(geom.k(), out_w, out_h);
+    let (mut psum, mut reg) = (Vec::new(), Vec::new());
     for tile in layer.tiles() {
         accumulate_tile(
             tile.stream(),
@@ -159,6 +163,8 @@ pub fn run_compiled(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32>
             pad,
             out_w,
             out_h,
+            &mut psum,
+            &mut reg,
         );
     }
     out
@@ -409,8 +415,9 @@ pub fn run_compiled_batch_threads(
     outs
 }
 
-/// Asserts every batch input matches the compiled layer's geometry.
-fn check_batch_inputs(layer: &CompiledLayer, inputs: &[Tensor3<i16>]) {
+/// Asserts every batch input matches the compiled layer's geometry (shared
+/// with the flattened executors in [`crate::flatten`]).
+pub(crate) fn check_batch_inputs(layer: &CompiledLayer, inputs: &[Tensor3<i16>]) {
     let geom = layer.geom();
     let channels = geom.c() * layer.conv_groups();
     for input in inputs {
@@ -520,7 +527,9 @@ fn accumulate_tile_batch(
 /// Walks one stream for every output position, adding the `G` partial sums
 /// into the output tensor. Reproduces the Figure 6/7 accumulator semantics
 /// (see [`GroupStream::dot_group`]) with the tile position decoded to input
-/// coordinates on the fly.
+/// coordinates on the fly. `psum`/`reg` are caller-provided scratch, resized
+/// as needed — the callers hold them across tiles so the per-layer hot path
+/// does not allocate per tile.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_tile(
     stream: &GroupStream,
@@ -534,12 +543,16 @@ fn accumulate_tile(
     pad: isize,
     out_w: usize,
     out_h: usize,
+    psum: &mut Vec<i32>,
+    reg: &mut Vec<i32>,
 ) {
     let g = stream.g();
     let canonical = stream.canonical();
     let n = stream.entry_count();
-    let mut psum = vec![0i32; g];
-    let mut reg = vec![0i32; g.saturating_sub(1)];
+    psum.clear();
+    psum.resize(g, 0);
+    reg.clear();
+    reg.resize(g.saturating_sub(1), 0);
 
     for x in 0..out_w {
         for y in 0..out_h {

@@ -30,6 +30,30 @@
 //! layers (every FC layer, and any conv with `pad == 0`) take the fully
 //! branch-free gather; padded layers keep a per-entry bounds check but still
 //! skip the decode and the closure machinery.
+//!
+//! # Batch-interleaved lanes
+//!
+//! The paper's vector datapath amortizes one indirection stream across `VW`
+//! lanes (§VI): the iterator walk is paid once, the arithmetic is wide. The
+//! per-image executor above does the opposite over a batch — every image
+//! re-pays every gather offset and segment bound. [`run_flattened_batch_interleaved`]
+//! is the software analog of the hardware's lane sharing: the batch is cut
+//! into chunks of up to [`LANE_WIDTH`] images, each chunk's activations are
+//! transposed once into a batch-interleaved layout (`input[off · LW + lane]`,
+//! planar offset major, image lane minor), and both phases run as
+//! straight-line loops over contiguous `LW`-wide lanes the autovectorizer
+//! turns into SIMD (`i16`→`i32` widening adds, one broadcast multiply per
+//! segment weight). Every gather base, halo bounds check, and CSR segment
+//! range is computed **once per entry per output position** and feeds all
+//! `LW` images. Per lane the i32 operation sequence is identical to
+//! [`run_flattened`], so outputs stay bit-identical at every batch size.
+//!
+//! Scratch (the interleaved chunk, the prefix lanes, the lane-major output)
+//! lives in a [`FlattenedScratch`] arena. The module keeps one arena per
+//! thread, so a serving worker's steady-state hot path stops allocating per
+//! request; callers that want explicit control use the `*_with` variants.
+
+use std::cell::RefCell;
 
 use ucnn_tensor::{ConvGeom, Tensor3};
 
@@ -228,6 +252,109 @@ impl FlattenedTile {
             }
         }
     }
+
+    /// Adds this tile's partial sums for `LW` batch-interleaved images at
+    /// once: `input` holds a chunk interleaved as `input[off · LW + lane]`
+    /// (see [`interleave_lanes`]), `out` is the matching lane-major output
+    /// accumulator (`out[off · LW + lane]`), and `prefix` is caller scratch
+    /// holding `(n + 1) · LW` prefix lanes.
+    ///
+    /// Per lane, the i32 operation sequence is exactly
+    /// [`FlattenedTile::accumulate`]: one indirection walk feeds all `LW`
+    /// lanes, and every inner loop is a contiguous `LW`-wide strip the
+    /// autovectorizer can lift to SIMD. The const generic keeps the lane
+    /// arrays on the stack and the strip loops fully unrolled at every
+    /// residual chunk width (2..=[`LANE_WIDTH`]).
+    fn accumulate_lanes<const LW: usize>(
+        &self,
+        input: &[i16],
+        out: &mut [i32],
+        geom: &ConvGeom,
+        prefix: &mut Vec<i32>,
+    ) {
+        let (out_w, out_h) = (geom.out_w(), geom.out_h());
+        let (in_w, in_h) = (geom.in_w(), geom.in_h());
+        let stride = geom.stride();
+        let n = self.n;
+        prefix.resize((n + 1) * LW, 0);
+        prefix[..LW].fill(0);
+
+        for x in 0..out_w {
+            for y in 0..out_h {
+                // Phase 1: LW parallel prefix sums behind one offset stream.
+                let mut run = [0i32; LW];
+                if self.all_in_bounds {
+                    let delta = (x * stride * in_h + y * stride) as i32;
+                    for (i, &b) in self.base.iter().enumerate() {
+                        let src = &input[(b + delta) as usize * LW..][..LW];
+                        for (r, &v) in run.iter_mut().zip(src) {
+                            *r += i32::from(v);
+                        }
+                        prefix[(i + 1) * LW..][..LW].copy_from_slice(&run);
+                    }
+                } else {
+                    let (bx, by) = ((x * stride) as isize, (y * stride) as isize);
+                    for i in 0..n {
+                        let ix = bx + isize::from(self.dx[i]);
+                        let iy = by + isize::from(self.dy[i]);
+                        // One halo check covers the whole chunk: a halo read
+                        // is zero for every image, so all LW lanes skip it.
+                        if ix >= 0 && iy >= 0 && (ix as usize) < in_w && (iy as usize) < in_h {
+                            let off =
+                                (self.chan[i] as usize * in_w + ix as usize) * in_h + iy as usize;
+                            let src = &input[off * LW..][..LW];
+                            for (r, &v) in run.iter_mut().zip(src) {
+                                *r += i32::from(v);
+                            }
+                        }
+                        prefix[(i + 1) * LW..][..LW].copy_from_slice(&run);
+                    }
+                }
+                // Phase 2: segment ranges resolved once, one broadcast
+                // multiply per segment weight across the LW lanes.
+                for level in 0..self.g {
+                    let mut acc = [0i32; LW];
+                    let s0 = self.seg_ptr[level] as usize;
+                    let s1 = self.seg_ptr[level + 1] as usize;
+                    for si in s0..s1 {
+                        let weight = self.seg_weight[si];
+                        let hi = &prefix[self.seg_end[si] as usize * LW..][..LW];
+                        let lo = &prefix[self.seg_start[si] as usize * LW..][..LW];
+                        for (a, (&h, &l)) in acc.iter_mut().zip(hi.iter().zip(lo)) {
+                            *a += (h - l) * weight;
+                        }
+                    }
+                    let off = (((self.k_first + level) * out_w + x) * out_h + y) * LW;
+                    for (o, &a) in out[off..][..LW].iter_mut().zip(&acc) {
+                        *o += a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches [`FlattenedTile::accumulate_lanes`] to the monomorphized
+/// kernel for a runtime chunk width (`2..=LANE_WIDTH`); width 1 is routed to
+/// the planar [`FlattenedTile::accumulate`] by the callers.
+fn accumulate_tile_lanes(
+    tile: &FlattenedTile,
+    input: &[i16],
+    out: &mut [i32],
+    geom: &ConvGeom,
+    prefix: &mut Vec<i32>,
+    lw: usize,
+) {
+    match lw {
+        2 => tile.accumulate_lanes::<2>(input, out, geom, prefix),
+        3 => tile.accumulate_lanes::<3>(input, out, geom, prefix),
+        4 => tile.accumulate_lanes::<4>(input, out, geom, prefix),
+        5 => tile.accumulate_lanes::<5>(input, out, geom, prefix),
+        6 => tile.accumulate_lanes::<6>(input, out, geom, prefix),
+        7 => tile.accumulate_lanes::<7>(input, out, geom, prefix),
+        8 => tile.accumulate_lanes::<8>(input, out, geom, prefix),
+        other => unreachable!("lane width {other} outside 2..=LANE_WIDTH"),
+    }
 }
 
 /// Executes a [`CompiledLayer`] through its flattened tiles — bit-identical
@@ -255,6 +382,23 @@ impl FlattenedTile {
 /// ```
 #[must_use]
 pub fn run_flattened(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32> {
+    with_thread_scratch(|scratch| run_flattened_with(layer, input, scratch))
+}
+
+/// [`run_flattened`] with an explicit [`FlattenedScratch`] arena: the
+/// `prefix` scratch is borrowed from `scratch` instead of allocated per
+/// call, so a caller that owns an arena (e.g. a serving worker) runs the
+/// whole forward allocation-free after warm-up.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the compiled layer's geometry.
+#[must_use]
+pub fn run_flattened_with(
+    layer: &CompiledLayer,
+    input: &Tensor3<i16>,
+    scratch: &mut FlattenedScratch,
+) -> Tensor3<i32> {
     let geom = layer.geom();
     assert_eq!(
         input.c(),
@@ -269,9 +413,8 @@ pub fn run_flattened(layer: &CompiledLayer, input: &Tensor3<i16>) -> Tensor3<i32
     let mut out = Tensor3::<i32>::zeros(geom.k(), geom.out_w(), geom.out_h());
     let out_slice = out.as_mut_slice();
     let in_slice = input.as_slice();
-    let mut prefix = Vec::new();
     for tile in layer.flat_tiles() {
-        tile.accumulate(in_slice, out_slice, geom, &mut prefix);
+        tile.accumulate(in_slice, out_slice, geom, &mut scratch.prefix);
     }
     out
 }
@@ -321,6 +464,245 @@ pub fn run_flattened_batch(
         .collect()
 }
 
+/// Images interleaved per lane chunk by
+/// [`run_flattened_batch_interleaved`] — the software analog of the paper's
+/// vector fetch width `VW` (§VI). Eight `i32` lanes fill two 128-bit
+/// registers on baseline x86-64 and exactly one 256-bit AVX2 register, and
+/// residual chunks (`B mod 8`) still get monomorphized kernels.
+pub const LANE_WIDTH: usize = 8;
+
+/// Reusable scratch for the flattened executors: the batch-interleaved
+/// input chunk, the `LW`-wide prefix lanes, and the lane-major output
+/// accumulator.
+///
+/// One arena serves any number of layers and chunk widths — buffers only
+/// ever grow. The module keeps a thread-local arena that the plain entry
+/// points ([`run_flattened`], [`run_flattened_batch_interleaved`]) borrow,
+/// so each serving worker thread reuses its own arena across requests; the
+/// `*_with` variants take one explicitly.
+#[derive(Debug, Default)]
+pub struct FlattenedScratch {
+    /// Batch-interleaved activations: `interleaved[off · LW + lane]`.
+    interleaved: Vec<i16>,
+    /// Prefix-sum lanes: `(n + 1) · LW` values, row `i` = prefix after
+    /// entry `i − 1`.
+    prefix: Vec<i32>,
+    /// Lane-major output accumulator: `out_lanes[off · LW + lane]`.
+    out_lanes: Vec<i32>,
+}
+
+impl FlattenedScratch {
+    /// Creates an empty arena (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread arena behind the plain entry points: serving workers are
+    /// threads, so this is a per-worker arena without any API plumbing.
+    static THREAD_SCRATCH: RefCell<FlattenedScratch> = RefCell::new(FlattenedScratch::new());
+}
+
+/// Runs `f` with the calling thread's [`FlattenedScratch`] arena.
+fn with_thread_scratch<R>(f: impl FnOnce(&mut FlattenedScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Transposes a chunk of equally sized planar images into the
+/// batch-interleaved lane layout: `out[off · LW + lane] = images[lane][off]`
+/// where `LW == images.len()`.
+///
+/// The inverse is [`deinterleave_lanes`]; the round trip is exact for any
+/// chunk width (pinned by a property test).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or the images differ in length.
+pub fn interleave_lanes<T: Copy + Default>(images: &[&[T]], out: &mut Vec<T>) {
+    let lw = images.len();
+    assert!(lw > 0, "cannot interleave an empty chunk");
+    let len = images[0].len();
+    out.clear();
+    out.resize(len * lw, T::default());
+    for (lane, img) in images.iter().enumerate() {
+        assert_eq!(img.len(), len, "interleaved images must be equally sized");
+        for (off, &v) in img.iter().enumerate() {
+            out[off * lw + lane] = v;
+        }
+    }
+}
+
+/// Scatters a lane-major buffer (`lanes[off · LW + lane]`,
+/// `LW == outs.len()`) back into planar per-image slices — the inverse of
+/// [`interleave_lanes`].
+///
+/// # Panics
+///
+/// Panics if `outs` is empty or `lanes` is not exactly `LW` equally sized
+/// planes.
+pub fn deinterleave_lanes<T: Copy>(lanes: &[T], outs: &mut [&mut [T]]) {
+    let lw = outs.len();
+    assert!(lw > 0, "cannot deinterleave into an empty chunk");
+    for (lane, out) in outs.iter_mut().enumerate() {
+        assert_eq!(out.len() * lw, lanes.len(), "lane buffer size mismatch");
+        for (off, dst) in out.iter_mut().enumerate() {
+            *dst = lanes[off * lw + lane];
+        }
+    }
+}
+
+/// Executes one lane chunk (`inputs.len() ∈ 1..=LANE_WIDTH`) through the
+/// flattened tiles: interleave once, walk every tile `LW`-wide, scatter the
+/// lane-major sums into the per-image outputs.
+fn run_chunk(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    outs: &mut [Tensor3<i32>],
+    scratch: &mut FlattenedScratch,
+) {
+    let geom = layer.geom();
+    let lw = inputs.len();
+    debug_assert!((1..=LANE_WIDTH).contains(&lw));
+    debug_assert_eq!(outs.len(), lw);
+    if lw == 1 {
+        // A single lane gains nothing from interleaving (the transpose is
+        // pure overhead); the planar walk is the same arithmetic, written
+        // straight into the already zeroed output.
+        let out_slice = outs[0].as_mut_slice();
+        let in_slice = inputs[0].as_slice();
+        for tile in layer.flat_tiles() {
+            tile.accumulate(in_slice, out_slice, geom, &mut scratch.prefix);
+        }
+        return;
+    }
+    let images: Vec<&[i16]> = inputs.iter().map(Tensor3::as_slice).collect();
+    interleave_lanes(&images, &mut scratch.interleaved);
+    let out_len = geom.k() * geom.out_w() * geom.out_h();
+    scratch.out_lanes.clear();
+    scratch.out_lanes.resize(out_len * lw, 0);
+    for tile in layer.flat_tiles() {
+        accumulate_tile_lanes(
+            tile,
+            &scratch.interleaved,
+            &mut scratch.out_lanes,
+            geom,
+            &mut scratch.prefix,
+            lw,
+        );
+    }
+    let mut planes: Vec<&mut [i32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
+    deinterleave_lanes(&scratch.out_lanes, &mut planes);
+}
+
+/// Batch-interleaved execution of a [`CompiledLayer`]'s flattened tiles —
+/// the [`BackendKind::FlattenedBatch`](crate::backend::BackendKind) inner
+/// loop.
+///
+/// The batch is processed in chunks of up to [`LANE_WIDTH`] images. Each
+/// chunk is transposed once into the batch-interleaved layout, every gather
+/// base / halo bounds check / CSR segment range is computed once per entry
+/// per output position, and the prefix-sum and segment-multiply phases run
+/// as contiguous `LW`-wide strips the autovectorizer lifts to SIMD. Per
+/// image the i32 operation sequence is identical to [`run_flattened`], so
+/// outputs are **bit-identical** to it at every batch size and thread count.
+///
+/// `threads > 1` splits the batch into contiguous runs of **whole lane
+/// chunks** executed on scoped threads, each with its own
+/// [`FlattenedScratch`] — never below [`LANE_WIDTH`] images per chunk, so
+/// adding threads cannot narrow the SIMD width (a batch of 8 runs as one
+/// full-width chunk regardless of the thread budget). With one thread (or a
+/// single chunk) the calling thread's arena is reused, so steady-state
+/// serving does not allocate scratch per request.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any input mismatches the layer geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::flatten::{run_flattened, run_flattened_batch_interleaved};
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
+///
+/// let geom = ConvGeom::new(1, 1, 16, 4, 1, 1);
+/// let filters = Tensor4::from_fn(4, 16, 1, 1, |k, c, _, _| ((k + c) % 3) as i16 - 1);
+/// let layer = CompiledLayer::compile(&geom, 1, &filters, &UcnnConfig::with_g(2));
+/// let inputs: Vec<Tensor3<i16>> = (0..5)
+///     .map(|b| Tensor3::from_fn(16, 1, 1, |c, _, _| ((b + c) % 7) as i16))
+///     .collect();
+/// let lanes = run_flattened_batch_interleaved(&layer, &inputs, 1);
+/// for (input, out) in inputs.iter().zip(&lanes) {
+///     assert_eq!(out, &run_flattened(&layer, input)); // bit-identical
+/// }
+/// ```
+#[must_use]
+pub fn run_flattened_batch_interleaved(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    threads: usize,
+) -> Vec<Tensor3<i32>> {
+    assert!(threads > 0, "need at least one execution thread");
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    // Work is dealt in whole lane chunks: splitting finer would narrow the
+    // SIMD width of every worker's kernel, costing more than the extra
+    // thread buys.
+    let chunks = inputs.len().div_ceil(LANE_WIDTH);
+    let workers = threads.min(chunks);
+    if workers == 1 {
+        return with_thread_scratch(|scratch| {
+            run_flattened_batch_interleaved_with(layer, inputs, scratch)
+        });
+    }
+    let chunk = chunks.div_ceil(workers) * LANE_WIDTH;
+    let mut results: Vec<Vec<Tensor3<i32>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|ins| {
+                scope.spawn(move || {
+                    let mut scratch = FlattenedScratch::new();
+                    run_flattened_batch_interleaved_with(layer, ins, &mut scratch)
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("interleaved executor thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// [`run_flattened_batch_interleaved`] on the calling thread with an
+/// explicit [`FlattenedScratch`] arena (no allocation once the arena has
+/// grown to the layer's working-set size).
+///
+/// # Panics
+///
+/// Panics if any input mismatches the layer geometry.
+#[must_use]
+pub fn run_flattened_batch_interleaved_with(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    scratch: &mut FlattenedScratch,
+) -> Vec<Tensor3<i32>> {
+    let geom = layer.geom();
+    crate::exec::check_batch_inputs(layer, inputs);
+    let mut outs: Vec<Tensor3<i32>> = inputs
+        .iter()
+        .map(|_| Tensor3::zeros(geom.k(), geom.out_w(), geom.out_h()))
+        .collect();
+    for (ins, chunk_outs) in inputs.chunks(LANE_WIDTH).zip(outs.chunks_mut(LANE_WIDTH)) {
+        run_chunk(layer, ins, chunk_outs, scratch);
+    }
+    outs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +733,23 @@ mod tests {
                 assert_eq!(out, expected, "batch, {threads} threads");
             }
         }
+        // The batch-interleaved executor must agree at every chunk width:
+        // distinct images per lane so a lane mix-up cannot cancel out.
+        let mut agen = ActivationGen::new(seed ^ 0x1A9E5);
+        for b in [1usize, 2, 5, LANE_WIDTH, LANE_WIDTH + 3] {
+            let batch: Vec<Tensor3<i16>> = (0..b)
+                .map(|_| agen.generate(geom.c() * conv_groups, geom.in_w(), geom.in_h()))
+                .collect();
+            let per_image: Vec<Tensor3<i32>> =
+                batch.iter().map(|i| run_flattened(&layer, i)).collect();
+            for threads in [1usize, 2, 4] {
+                assert_eq!(
+                    run_flattened_batch_interleaved(&layer, &batch, threads),
+                    per_image,
+                    "interleaved B={b}, {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]
@@ -368,6 +767,126 @@ mod tests {
     fn padded_strided_conv_takes_checked_path_and_stays_exact() {
         let geom = ConvGeom::new(11, 9, 5, 6, 3, 3).with_stride(2).with_pad(1);
         check(geom, 1, 2, 3, 4);
+    }
+
+    #[test]
+    fn halo_corners_with_pad2_stride_and_negative_deltas() {
+        // pad = 2 with a 3×3 filter makes every dx/dy delta non-positive
+        // (r − pad ∈ {−2, −1, 0}), so the checked gather must clip reads on
+        // ALL four sides: ix < 0 and iy < 0 at the (0, 0) output corner,
+        // ix ≥ in_w / iy ≥ in_h at the far corners once the stride pushes
+        // the gather base past the plane. Non-square input (7×6) keeps the
+        // two axes from masking each other's bugs.
+        for (stride, seed) in [(1usize, 21u64), (2, 22), (3, 23)] {
+            let geom = ConvGeom::new(7, 6, 3, 4, 3, 3)
+                .with_stride(stride)
+                .with_pad(2);
+            // The lowering must take the checked path everywhere…
+            let mut wgen = WeightGen::new(QuantScheme::inq(), seed).with_density(0.8);
+            let weights = wgen.generate_dims(4, 3, 3, 3);
+            let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+            assert!(
+                layer.flat_tiles().iter().all(|t| !t.branch_free()),
+                "pad > 0 must disable the branch-free gather (stride {stride})"
+            );
+            // …and every corner output (where halo reads clip) must agree
+            // with the dense reference bit for bit.
+            check(geom, 1, 2, 2, seed);
+        }
+    }
+
+    #[test]
+    fn halo_corners_grouped_conv_pad2() {
+        // Grouped conv + pad 2: the checked path's absolute-channel gather
+        // (`chan[i]`) must stay inside each group's channel band even while
+        // the spatial deltas go negative.
+        let geom = ConvGeom::new(6, 7, 3, 4, 3, 3).with_stride(2).with_pad(2);
+        check(geom, 2, 2, 2, 24);
+    }
+
+    #[test]
+    fn corner_halo_reads_contribute_zero() {
+        // Direct corner probe: an input of all ones with an all-ones filter
+        // makes each output count exactly the in-bounds reads, so the four
+        // corners of a pad-2 stride-2 layer quantify precisely how many
+        // halo reads were clipped. out = (7+4−3)/2+1 = 5 wide, (6+4−3)/2+1
+        // = 4 tall; corner (0,0) sees a 1×1 valid window (8 of 9 reads
+        // clip), the bottom corners a 1×2 window (iy = 6 clips past
+        // in_h = 6 while ix clips at −2/−1 or 7/8).
+        let geom = ConvGeom::new(7, 6, 1, 1, 3, 3).with_stride(2).with_pad(2);
+        let weights = Tensor4::from_fn(1, 1, 3, 3, |_, _, _, _| 1i16);
+        let input = Tensor3::filled(1, 7, 6, 1i16);
+        let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::default());
+        let out = run_flattened(&layer, &input);
+        let expected = reference::conv2d(&geom, 1, &input, &weights);
+        assert_eq!(out, expected);
+        assert_eq!(out[(0, 0, 0)], 1, "top-left corner: 8 of 9 reads clip");
+        assert_eq!(
+            out[(0, geom.out_w() - 1, 0)],
+            1,
+            "top-right corner clips ix ≥ in_w and iy < 0"
+        );
+        assert_eq!(
+            out[(0, 0, geom.out_h() - 1)],
+            2,
+            "bottom-left corner clips ix < 0 and iy ≥ in_h"
+        );
+        assert_eq!(
+            out[(0, geom.out_w() - 1, geom.out_h() - 1)],
+            2,
+            "bottom-right corner clips ix ≥ in_w and iy ≥ in_h"
+        );
+        // The interleaved kernel shares the same single bounds check.
+        let batch = vec![input; 4];
+        for got in run_flattened_batch_interleaved(&layer, &batch, 1) {
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn interleave_deinterleave_round_trip() {
+        let images: Vec<Vec<i16>> = (0..5)
+            .map(|lane| (0..12).map(|i| (lane * 100 + i) as i16).collect())
+            .collect();
+        let refs: Vec<&[i16]> = images.iter().map(Vec::as_slice).collect();
+        let mut lanes = Vec::new();
+        interleave_lanes(&refs, &mut lanes);
+        assert_eq!(lanes.len(), 5 * 12);
+        assert_eq!(lanes[3], 300); // off 0, lane 3
+        assert_eq!(lanes[7 * 5 + 1], 107); // off 7, lane 1
+        let mut back: Vec<Vec<i16>> = vec![vec![0; 12]; 5];
+        let mut outs: Vec<&mut [i16]> = back.iter_mut().map(Vec::as_mut_slice).collect();
+        deinterleave_lanes(&lanes, &mut outs);
+        assert_eq!(back, images);
+    }
+
+    #[test]
+    fn explicit_scratch_arena_is_reusable_across_layers_and_widths() {
+        // One arena across different layers, chunk widths, and both gather
+        // paths: buffers only grow, results stay exact.
+        let mut scratch = FlattenedScratch::new();
+        let geoms = [
+            ConvGeom::new(1, 1, 32, 6, 1, 1),
+            ConvGeom::new(6, 5, 4, 3, 3, 3).with_pad(1),
+        ];
+        let mut agen = ActivationGen::new(77);
+        for (gi, geom) in geoms.iter().enumerate() {
+            let mut wgen = WeightGen::new(QuantScheme::inq(), 70 + gi as u64).with_density(0.8);
+            let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+            let layer = CompiledLayer::compile(geom, 1, &weights, &UcnnConfig::with_g(2));
+            for b in [2usize, 8, 11] {
+                let inputs: Vec<Tensor3<i16>> = (0..b)
+                    .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
+                    .collect();
+                let expected: Vec<Tensor3<i32>> =
+                    inputs.iter().map(|i| run_flattened(&layer, i)).collect();
+                assert_eq!(
+                    run_flattened_batch_interleaved_with(&layer, &inputs, &mut scratch),
+                    expected,
+                    "layer {gi}, B={b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,11 +38,14 @@
 //!   work is paid once per model and the hot path only walks streams
 //!   ([`exec::run_compiled`]).
 //! * [`backend`](mod@backend) — pluggable executor backends: one [`Backend`] trait over
-//!   five interchangeable, bit-identical inner-loop shapes, selected by
+//!   six interchangeable, bit-identical inner-loop shapes, selected by
 //!   [`BackendKind`] end to end from the serving engine down.
 //! * [`flatten`] — the compile-time lowering behind
-//!   [`BackendKind::Flattened`]: branch-free gather offsets and CSR-style
-//!   activation-group ranges.
+//!   [`BackendKind::Flattened`] (branch-free gather offsets and CSR-style
+//!   activation-group ranges) and the batch-interleaved SIMD executor
+//!   behind [`BackendKind::FlattenedBatch`] (one indirection walk feeding
+//!   up to [`flatten::LANE_WIDTH`] contiguous image lanes, with per-worker
+//!   [`FlattenedScratch`] arenas).
 //! * [`partial_product`] — the paper's third (unexploited) reuse form,
 //!   partial-product memoization across filters (§III-C), provided as an
 //!   extension for ablation.
@@ -77,6 +80,6 @@ pub mod plan;
 pub use backend::{all_backends, backend, Backend, BackendKind};
 pub use compile::{LayerPlan, TileStats, UcnnConfig};
 pub use factorize::{ActivationGroup, FilterFactorization};
-pub use flatten::FlattenedTile;
+pub use flatten::{FlattenedScratch, FlattenedTile};
 pub use hierarchy::{GroupStream, StreamEntry};
 pub use plan::{CompiledLayer, CompiledNetwork, CompiledStage, CompiledTile};

@@ -215,6 +215,14 @@ impl CompiledLayer {
         })
     }
 
+    /// Whether the flattened lowering has already been built (by a
+    /// flattened-backend execution or an explicit
+    /// [`CompiledNetwork::warm`]).
+    #[must_use]
+    pub fn flat_ready(&self) -> bool {
+        self.flat.get().is_some()
+    }
+
     /// Rebuilds the dense weight tensor the layer was compiled from, out of
     /// the retained streams: dropped positions are zero in every filter of
     /// their group (the §IV-C union rule), every retained rank maps back
@@ -427,6 +435,21 @@ impl CompiledNetwork {
     #[must_use]
     pub fn input_dims(&self) -> (usize, usize, usize) {
         self.input_dims
+    }
+
+    /// Eagerly builds every lazily derived execution structure `kind` needs
+    /// (for the flattened backends, the per-layer `OnceLock` lowering), so
+    /// the first request served after a deploy does not pay lowering
+    /// latency in its tail. Idempotent and cheap to repeat; a no-op for
+    /// backends with no derived state. The serving registry calls this on
+    /// insert and whenever a backend override is set.
+    pub fn warm(&self, kind: BackendKind) {
+        let exec = backend(kind);
+        for stage in &self.stages {
+            if let CompiledStage::Conv { layer, .. } = stage {
+                exec.warm(layer);
+            }
+        }
     }
 
     /// Total retained stream entries across all compiled layers.
@@ -707,6 +730,26 @@ mod tests {
         let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 4, 0.9);
         let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::default());
         let _ = compiled.forward_batch(&[Tensor3::filled(3, 5, 5, 1i16)]);
+    }
+
+    #[test]
+    fn warm_forces_lazy_lowering_for_flattened_backends_only() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 61, 0.85);
+        let flat_ready = |plan: &CompiledNetwork| {
+            plan.stages().iter().all(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.flat_ready(),
+                CompiledStage::Pool { .. } => true,
+            })
+        };
+        let compiled = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(!flat_ready(&compiled), "lowering must start lazy");
+        compiled.warm(BackendKind::BatchThreads); // no derived state
+        assert!(!flat_ready(&compiled));
+        compiled.warm(BackendKind::FlattenedBatch);
+        assert!(flat_ready(&compiled), "warm must force the lowering");
+        compiled.warm(BackendKind::Flattened); // idempotent
+        assert!(flat_ready(&compiled));
     }
 
     #[test]

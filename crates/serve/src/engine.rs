@@ -14,6 +14,16 @@
 //! request, and [`EngineConfig::exec_threads`] optionally parallelizes that
 //! single forward across scoped threads. Responses stay bit-identical to
 //! per-request execution at every batch size and thread count.
+//!
+//! Workers are plain threads, which makes two serve-path costs one-time
+//! instead of per-request: the flattened executors keep a **per-thread
+//! scratch arena** (`ucnn_core::flatten::FlattenedScratch`), so each
+//! worker's steady-state hot path stops allocating scratch per batch, and
+//! lazily lowered plan state is **warmed** ahead of traffic — by the
+//! [`ModelRegistry`] at insert/override time (the override and preference
+//! tiers) and by [`Engine::start`] for plans that fall through to the
+//! engine-default backend — so the first request after a deploy or a
+//! backend retune does not pay lowering latency in its tail.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -267,6 +277,22 @@ impl Engine {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.exec_threads > 0, "need at least one exec thread");
         assert!(config.max_batch > 0, "need a positive max batch");
+        // Warm every registered plan for the backend that will actually
+        // serve it. The registry warms the override/preference tiers at
+        // insert/override time, but only the engine knows its own default —
+        // the third resolution tier — so plans that fall through to it
+        // (e.g. `EngineConfig { backend: FlattenedBatch, .. }` with plain
+        // plans) get their lazy lowering built here, before the first
+        // request. Models inserted *after* start are covered by the
+        // registry tiers alone.
+        for name in registry.names() {
+            if let Some((plan, override_kind)) = registry.get_with_backend(&name) {
+                let kind = override_kind
+                    .or_else(|| plan.backend_preference())
+                    .unwrap_or(config.backend);
+                plan.warm(kind);
+            }
+        }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let counters = Arc::new(Counters::new(config.max_batch));
         let workers = (0..config.workers)
@@ -662,6 +688,35 @@ mod tests {
             }
             let _ = engine.shutdown();
         }
+    }
+
+    #[test]
+    fn engine_start_warms_plans_for_its_default_backend() {
+        use ucnn_core::plan::CompiledStage;
+
+        // A plain plan (no preference, no override) under a flattened
+        // engine default: insert cannot warm it (the registry does not
+        // know the engine default), so Engine::start must.
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 47, 0.9);
+        let plan = registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let flat_ready = |plan: &CompiledNetwork| {
+            plan.stages().iter().all(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.flat_ready(),
+                CompiledStage::Pool { .. } => true,
+            })
+        };
+        assert!(!flat_ready(&plan), "insert alone must not warm this plan");
+        let engine = Engine::start(
+            Arc::clone(&registry),
+            EngineConfig {
+                backend: BackendKind::FlattenedBatch,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(flat_ready(&plan), "start must warm for the engine default");
+        let _ = engine.shutdown();
     }
 
     #[test]

@@ -57,17 +57,33 @@ impl ModelRegistry {
     /// immutable, so no request ever observes a half-swapped model). A
     /// per-model backend override set via [`ModelRegistry::set_backend`]
     /// survives the replacement.
+    ///
+    /// The plan is **warmed** for the backend that will serve it (the
+    /// surviving per-model override if any, else the plan's own
+    /// preference, else the engine-wide default's no-op): any lazily
+    /// derived execution state — the flattened backends' per-layer
+    /// lowering — is built here, at deploy time, so the first request after
+    /// an insert no longer pays lowering latency in its tail. Warming runs
+    /// outside the registry lock (plans synchronize their own `OnceLock`s),
+    /// so concurrent lookups are never blocked behind it.
     pub fn insert(&self, model: CompiledNetwork) -> Arc<CompiledNetwork> {
         let arc = Arc::new(model);
-        let mut models = self.models.write().expect("registry poisoned");
-        let backend = models.get(arc.name()).and_then(|entry| entry.backend);
-        models.insert(
-            arc.name().to_string(),
-            Entry {
-                plan: Arc::clone(&arc),
-                backend,
-            },
-        );
+        let backend = {
+            let mut models = self.models.write().expect("registry poisoned");
+            let backend = models.get(arc.name()).and_then(|entry| entry.backend);
+            models.insert(
+                arc.name().to_string(),
+                Entry {
+                    plan: Arc::clone(&arc),
+                    backend,
+                },
+            );
+            backend
+        };
+        let effective = backend
+            .or_else(|| arc.backend_preference())
+            .unwrap_or(CompiledNetwork::DEFAULT_BACKEND);
+        arc.warm(effective);
         arc
     }
 
@@ -110,20 +126,29 @@ impl ModelRegistry {
     /// override. Returns `false` if no model of that name is registered.
     ///
     /// The override takes effect for requests submitted after the call;
-    /// every backend is bit-identical, so switching is always safe.
+    /// every backend is bit-identical, so switching is always safe. When a
+    /// backend is set, the plan is warmed for it (outside the lock), so the
+    /// first request after an operator retune does not pay lazy-lowering
+    /// latency.
     pub fn set_backend(&self, name: &str, backend: Option<BackendKind>) -> bool {
-        match self
-            .models
-            .write()
-            .expect("registry poisoned")
-            .get_mut(name)
-        {
-            Some(entry) => {
-                entry.backend = backend;
-                true
+        let plan = {
+            match self
+                .models
+                .write()
+                .expect("registry poisoned")
+                .get_mut(name)
+            {
+                Some(entry) => {
+                    entry.backend = backend;
+                    Some(Arc::clone(&entry.plan))
+                }
+                None => return false,
             }
-            None => false,
+        };
+        if let (Some(plan), Some(kind)) = (plan, backend) {
+            plan.warm(kind);
         }
+        true
     }
 
     /// The per-model backend override, if any.
@@ -231,6 +256,44 @@ mod tests {
         assert!(Arc::ptr_eq(&new, &current));
         assert_eq!(current.forward(&input), expect_new);
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn insert_and_set_backend_warm_the_flattened_lowering() {
+        use ucnn_core::backend::BackendKind;
+        use ucnn_core::plan::CompiledStage;
+
+        let flat_ready = |plan: &CompiledNetwork| {
+            plan.stages().iter().all(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.flat_ready(),
+                CompiledStage::Pool { .. } => true,
+            })
+        };
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 10, 0.9);
+
+        // No preference, no override: nothing to warm — lowering stays lazy.
+        let plain = registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(!flat_ready(&plain));
+
+        // Retuning to a flattened backend warms at set_backend time.
+        assert!(registry.set_backend("tiny", Some(BackendKind::FlattenedBatch)));
+        assert!(flat_ready(&plain), "set_backend must warm the live plan");
+
+        // A hot-swap under a surviving override warms the *new* plan on
+        // insert, before any request can race the lazy lowering.
+        let w2 = forward::generate_network_weights(&net, QuantScheme::inq(), 11, 0.9);
+        let swapped = registry.compile_and_insert(&net, &w2, &UcnnConfig::with_g(2));
+        assert!(flat_ready(&swapped), "insert must warm under an override");
+
+        // A plan preference also warms on insert (fresh registry: no
+        // override survives from the runs above).
+        let fresh = ModelRegistry::new();
+        let preferred = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2))
+            .with_backend(BackendKind::Flattened);
+        let arc = fresh.insert(preferred);
+        assert!(flat_ready(&arc), "insert must warm the plan preference");
     }
 
     #[test]

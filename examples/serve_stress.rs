@@ -16,9 +16,10 @@
 //! * `--threads N` — scoped exec threads inside each batched forward
 //!   (default 1).
 //! * `--backend NAME` — executor backend (`factorized`, `compiled`,
-//!   `batch`, `batch-threads`, `flattened`; default `batch-threads`).
-//!   Every backend is bit-identical, so this only changes performance —
-//!   the CI backend matrix drives this flag across all five.
+//!   `batch`, `batch-threads`, `flattened`, `flattened-batch`; default
+//!   `batch-threads`). Every backend is bit-identical, so this only
+//!   changes performance — the CI backend matrix drives this flag across
+//!   all six.
 //!
 //! Every dynamic batch a worker drains executes as one batch-major forward
 //! walking the retained streams once for the whole batch; the printed batch

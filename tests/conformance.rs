@@ -131,6 +131,19 @@ fn corpus_definitions() -> Vec<GoldenCase> {
             seed: 105,
         },
         LayerDef {
+            // Deep halo: pad 2 with a 3×3 filter makes every gather delta
+            // non-positive, so edge outputs clip reads on all four sides —
+            // the branchy checked-gather path of the flattened executors.
+            name: "layer_halo_pad2_stride2",
+            geom: ConvGeom::new(7, 6, 3, 4, 3, 3).with_stride(2).with_pad(2),
+            conv_groups: 1,
+            g: 2,
+            ct: 2,
+            scheme: QuantScheme::inq(),
+            density: 0.75,
+            seed: 107,
+        },
+        LayerDef {
             name: "layer_g_exceeds_k",
             geom: ConvGeom::new(5, 5, 4, 3, 3, 3),
             conv_groups: 1,
@@ -427,8 +440,10 @@ fn parse(name: &str, text: &str) -> GoldenCase {
 // The conformance run.
 // ---------------------------------------------------------------------------
 
-/// Batch sizes × thread counts every backend is driven with.
-const SHAPES: [(usize, usize); 3] = [(1, 1), (1, 2), (3, 2)];
+/// Batch sizes × thread counts every backend is driven with. Batch 9
+/// exercises the interleaved backend's full-width chunk *and* a width-1
+/// residual in one run.
+const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 2), (3, 2), (9, 2)];
 
 fn check_case(case: &GoldenCase) {
     match case {
@@ -528,7 +543,7 @@ fn golden_corpus_runs_every_backend_bit_identically() {
         .collect();
     files.sort();
     assert!(
-        files.len() >= 8,
+        files.len() >= 9,
         "golden corpus incomplete: found {} vectors in {}",
         files.len(),
         dir.display()
