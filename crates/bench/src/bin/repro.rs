@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--batch] [--backend NAME] [--out DIR]
+//!       [--workload NAME] [--mix NAME] [--model NAME]... [--seed N]
+//!       [--requests N] [--duration SECS] [--rate HZ] [--shards N]
 //!
 //! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
 //!              table3 ablations serve batch backends all
@@ -19,12 +21,21 @@
 //! the working directory otherwise) so the perf trajectory of the executor
 //! backends is tracked across commits. With `--out DIR` every table is also
 //! written as `DIR/<experiment>.csv`.
+//!
+//! The `serve` experiment is the load-harness front door and **always
+//! writes `BENCH_serve.json`** the same way. By default it sweeps the full
+//! workload matrix (closed at 1 and 8 generator shards, then open/bursty/
+//! ramp arrivals) over the whole model zoo; `--workload` restricts to one
+//! arrival process, `--mix` picks the model-population distribution,
+//! `--model` (repeatable) restricts the zoo, `--seed` makes two runs
+//! generate bit-identical request streams, and `--requests`/`--duration`/
+//! `--rate`/`--shards` size the run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ucnn_bench::cli;
-use ucnn_bench::experiments;
+use ucnn_bench::experiments::{self, ServeOpts};
 use ucnn_bench::TableOut;
 use ucnn_core::backend::BackendKind;
 
@@ -46,7 +57,7 @@ const ALL: &[&str] = &[
     "backends",
 ];
 
-fn run_one(name: &str, quick: bool, backend: BackendKind) -> Option<Vec<TableOut>> {
+fn run_one(name: &str, quick: bool, serve_opts: &ServeOpts) -> Option<Vec<TableOut>> {
     let tables = match name {
         "fig1" => vec![experiments::fig1()],
         "fig3" => vec![experiments::fig3(quick)],
@@ -66,7 +77,7 @@ fn run_one(name: &str, quick: bool, backend: BackendKind) -> Option<Vec<TableOut
             experiments::ablate_multipliers(),
         ],
         "serve" => vec![
-            experiments::serve(quick, backend),
+            experiments::serve_load(quick, serve_opts),
             experiments::compile_amortization(quick),
         ],
         "batch" => vec![experiments::batch_exec(quick)],
@@ -91,10 +102,53 @@ fn main() -> ExitCode {
         None => BackendKind::BatchThreads,
     };
 
+    // The serve load-harness knobs. Parse failures on numeric flags are
+    // hard errors, not silent fallbacks.
+    macro_rules! parse_flag {
+        ($flag:literal, $ty:ty) => {
+            match cli::arg_value(&args, $flag).map(|v| v.parse::<$ty>()) {
+                None => None,
+                Some(Ok(v)) => Some(v),
+                Some(Err(_)) => {
+                    eprintln!("invalid value for {}", $flag);
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+    }
+    let serve_opts = ServeOpts {
+        backend,
+        seed: parse_flag!("--seed", u64).unwrap_or(experiments::SEED),
+        requests: parse_flag!("--requests", usize),
+        duration_s: parse_flag!("--duration", f64),
+        shards: parse_flag!("--shards", usize),
+        rate_hz: parse_flag!("--rate", f64),
+        workload: cli::arg_value(&args, "--workload").cloned(),
+        mix: cli::arg_value(&args, "--mix").cloned(),
+        models: cli::arg_values(&args, "--model")
+            .into_iter()
+            .cloned()
+            .collect(),
+    };
+
     // Flag *values* are excluded by position, not by string value, so an
     // experiment name that happens to equal a flag value (e.g. the 'batch'
     // experiment with `--backend batch`) still selects normally.
-    let flag_value_positions = cli::flag_value_positions(&args, &["--out", "--backend"]);
+    let flag_value_positions = cli::flag_value_positions(
+        &args,
+        &[
+            "--out",
+            "--backend",
+            "--seed",
+            "--requests",
+            "--duration",
+            "--shards",
+            "--rate",
+            "--workload",
+            "--mix",
+            "--model",
+        ],
+    );
     let mut selected: Vec<String> = args
         .iter()
         .enumerate()
@@ -117,7 +171,7 @@ fn main() -> ExitCode {
     }
 
     for name in &selected {
-        let Some(tables) = run_one(name, quick, backend) else {
+        let Some(tables) = run_one(name, quick, &serve_opts) else {
             eprintln!("unknown experiment '{name}'; choose from {ALL:?} or 'all'");
             return ExitCode::FAILURE;
         };
@@ -135,12 +189,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            // The backend comparison doubles as the perf trajectory of the
-            // executors: always emit it machine-readable alongside the
-            // pretty table.
-            if name == "backends" {
+            // The backend comparison and the serve harness double as perf
+            // trajectories: always emit them machine-readable alongside the
+            // pretty tables.
+            let bench_json = match (name.as_str(), i) {
+                ("backends", _) => Some("BENCH_backends.json"),
+                ("serve", 0) => Some("BENCH_serve.json"),
+                _ => None,
+            };
+            if let Some(file) = bench_json {
                 let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
-                let path = dir.join("BENCH_backends.json");
+                let path = dir.join(file);
                 if let Err(err) = table.write_json(&path) {
                     eprintln!("cannot write {}: {err}", path.display());
                     return ExitCode::FAILURE;

@@ -666,102 +666,289 @@ pub fn ablate_multipliers() -> TableOut {
     t
 }
 
-/// Serving throughput/latency: closed-loop and fixed-rate open-loop stress
-/// runs against the compile-once engine on the tiny network, across worker
-/// counts, through the given executor `exec_backend`. Every response is
-/// verified bit for bit against the dense reference (the run panics on any
-/// mismatch).
+/// Knobs for the serve load experiment — the `repro serve` CLI surface.
+///
+/// Every `None`/empty field falls back to the built-in sweep: the full
+/// workload matrix over the whole model zoo at an auto-calibrated rate.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Executor backend the engine serves through.
+    pub backend: BackendKind,
+    /// Schedule seed — same seed and config replay the identical stream.
+    pub seed: u64,
+    /// Requests per run (overrides `duration_s` and the built-in default).
+    pub requests: Option<usize>,
+    /// Target run length in seconds, converted to a request count via the
+    /// offered rate.
+    pub duration_s: Option<f64>,
+    /// Generator shards for a single-workload run (`--workload` mode).
+    pub shards: Option<usize>,
+    /// Open-loop offered rate; auto-calibrated to half the measured
+    /// closed-loop capacity when absent.
+    pub rate_hz: Option<f64>,
+    /// Restrict to one arrival process (`closed`/`open`/`bursty`/`ramp`)
+    /// instead of the full matrix.
+    pub workload: Option<String>,
+    /// Mix for a single-workload run (`uniform`/`hotcold`/`sequential`).
+    pub mix: Option<String>,
+    /// Zoo subset to serve (repeatable `--model`); empty = whole zoo.
+    pub models: Vec<String>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::BatchThreads,
+            seed: SEED,
+            requests: None,
+            duration_s: None,
+            shards: None,
+            rate_hz: None,
+            workload: None,
+            mix: None,
+            models: Vec::new(),
+        }
+    }
+}
+
+/// The serving model zoo: three registrations of the tiny topology with
+/// distinct weights (seed and density), so multi-model mixes exercise real
+/// per-model plans and per-model bit-exactness is meaningful.
+const SERVE_ZOO: &[(&str, f64)] = &[("tiny", 0.9), ("tiny-b", 0.8), ("tiny-c", 0.7)];
+
+/// Serving load harness: executes the workload zoo (closed, open-loop
+/// fixed-rate, bursty, ramp arrivals × uniform/hot-cold/sequential mixes)
+/// against the compile-once engine over a multi-model registry, through
+/// sharded deterministic generators ([`ucnn_serve::harness`]). Every
+/// response is verified bit for bit against its model's dense reference
+/// (the run panics on any mismatch). One `ALL` row plus one row per model
+/// is emitted per run; `repro serve` writes the table as
+/// `BENCH_serve.json`.
+///
+/// The default matrix pins the sharded-stats acceptance pair — the same
+/// closed workload at 1 and 8 generator shards — before sweeping the
+/// scheduled arrivals at an auto-calibrated sustainable rate.
 #[must_use]
-pub fn serve(quick: bool, exec_backend: BackendKind) -> TableOut {
+pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
     use std::sync::Arc;
+    use std::time::Duration;
     use ucnn_model::forward;
-    use ucnn_serve::{loadgen, Engine, EngineConfig, ModelRegistry};
+    use ucnn_serve::harness::{self, ModelCases, RunConfig};
+    use ucnn_serve::workload::{Arrival, Mix, StandardWorkload};
+    use ucnn_serve::{Engine, EngineConfig, ModelRegistry};
 
-    let net = networks::tiny();
-    let weights = forward::generate_network_weights(&net, QuantScheme::inq(), SEED, 0.9);
-    let registry = Arc::new(ModelRegistry::new());
-    registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
-
-    let mut agen = ucnn_model::ActivationGen::new(SEED ^ 0x5E12E);
-    let cases: Vec<loadgen::Case> = (0..6)
-        .map(|_| {
-            let input = agen.generate_for(&net.conv_layers()[0]);
-            let expected = forward::dense_forward(&net, &weights, &input);
-            (input, expected)
-        })
-        .collect();
-    let workload = loadgen::Workload {
-        model: "tiny",
-        cases: &cases,
+    let zoo: Vec<(&str, f64)> = if opts.models.is_empty() {
+        SERVE_ZOO.to_vec()
+    } else {
+        opts.models
+            .iter()
+            .map(|m| {
+                *SERVE_ZOO
+                    .iter()
+                    .find(|(name, _)| name == m)
+                    .unwrap_or_else(|| panic!("unknown model '{m}'; the zoo is {SERVE_ZOO:?}"))
+            })
+            .collect()
     };
 
-    let (worker_counts, iters, open_requests): (&[usize], usize, usize) = if quick {
-        (&[2], 20, 60)
-    } else {
-        (&[1, 2, 4, 8], 60, 400)
+    let tiny = networks::tiny();
+    let registry = Arc::new(ModelRegistry::new());
+    let mut agen = ucnn_model::ActivationGen::new(opts.seed ^ 0x5E12E);
+    let models: Vec<ModelCases> = zoo
+        .iter()
+        .enumerate()
+        .map(|(i, (name, density))| {
+            let mut spec = NetworkSpec::new(*name);
+            for layer in tiny.layers() {
+                spec.push(layer.clone());
+            }
+            let weights = forward::generate_network_weights(
+                &spec,
+                QuantScheme::inq(),
+                opts.seed ^ (0xB0 + i as u64),
+                *density,
+            );
+            registry.compile_and_insert(&spec, &weights, &UcnnConfig::with_g(2));
+            let cases = (0..4)
+                .map(|_| {
+                    let input = agen.generate_for(&spec.conv_layers()[0]);
+                    let expected = forward::dense_forward(&spec, &weights, &input);
+                    (input, expected)
+                })
+                .collect();
+            ModelCases {
+                name: (*name).to_string(),
+                cases,
+            }
+        })
+        .collect();
+
+    let start_engine = || {
+        Engine::start(
+            Arc::clone(&registry),
+            EngineConfig {
+                workers: 2,
+                backend: opts.backend,
+                ..EngineConfig::default()
+            },
+        )
+    };
+
+    // Offered rate for the scheduled arrivals: half the measured
+    // closed-loop capacity unless pinned, so open/bursty/ramp runs are
+    // sustainable on any machine.
+    let rate = opts.rate_hz.unwrap_or_else(|| {
+        let engine = start_engine();
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::Sequential,
+        };
+        let report = harness::run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: if quick { 24 } else { 96 },
+                shards: 2,
+                seed: opts.seed,
+                max_lag: None,
+            },
+        );
+        let _ = engine.shutdown();
+        (report.throughput_rps() / 2.0).max(50.0)
+    });
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "offered rate must be positive, got {rate}"
+    );
+
+    let default_requests = if quick { 48 } else { 480 };
+    let requests_for = |arrival: &Arrival| -> usize {
+        if let Some(n) = opts.requests {
+            return n;
+        }
+        if let Some(secs) = opts.duration_s {
+            // Closed loops have no schedule; size them by capacity instead
+            // of the offered rate.
+            let per_s = match arrival {
+                Arrival::Closed => rate * 2.0,
+                _ => rate,
+            };
+            return ((per_s * secs).ceil() as usize).max(1);
+        }
+        default_requests
+    };
+
+    // (arrival, mix, shards) per run. The 1-vs-8-shard closed pair is the
+    // sharded-stats acceptance comparison reported in EXPERIMENTS.md.
+    let matrix: Vec<(String, String, usize)> = match &opts.workload {
+        Some(name) => vec![(
+            name.clone(),
+            opts.mix.clone().unwrap_or_else(|| "uniform".to_string()),
+            opts.shards.unwrap_or(2),
+        )],
+        None => [
+            ("closed", "sequential", 1usize),
+            ("closed", "sequential", 8),
+            ("open", "uniform", 2),
+            ("bursty", "hotcold", 2),
+            ("ramp", "uniform", 2),
+        ]
+        .iter()
+        .map(|(w, m, s)| ((*w).to_string(), (*m).to_string(), *s))
+        .collect(),
     };
 
     let title = format!(
-        "Serving: compile-once engine under closed/open-loop load (tiny net, '{exec_backend}' backend)"
+        "Serving load harness: workload zoo, '{}' backend, seed {:#x}, rate {:.0}/s",
+        opts.backend, opts.seed, rate
     );
     let mut t = TableOut::new(
         &title,
         &[
-            "mode",
-            "workers",
-            "requests",
+            "workload",
+            "mix",
+            "shards",
+            "model",
+            "scheduled",
+            "completed",
+            "shed",
+            "errors",
             "mismatch",
-            "dropped",
             "req_per_s",
             "p50_us",
             "p95_us",
             "p99_us",
+            "p999_us",
             "mean_batch",
-            "p90_batch",
+            "max_batch",
         ],
     );
-    for &workers in worker_counts {
-        // One engine per mode so batch counters are per-run, not blended.
-        let start_engine = || {
-            Engine::start(
-                Arc::clone(&registry),
-                EngineConfig {
-                    workers,
-                    backend: exec_backend,
-                    ..EngineConfig::default()
-                },
-            )
-        };
+    for (wname, mname, shards) in matrix {
+        let arrival = Arrival::parse(&wname, rate).unwrap_or_else(|| {
+            panic!("unknown workload '{wname}'; choose closed, open, bursty, or ramp")
+        });
+        let mix = Mix::parse(&mname).unwrap_or_else(|| {
+            panic!("unknown mix '{mname}'; choose uniform, hotcold, or sequential")
+        });
+        let wl = StandardWorkload { arrival, mix };
         let engine = start_engine();
-        let clients = 2 * workers;
-        let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
-        let closed_stats = engine.shutdown();
-
-        // Offer open-loop traffic at half the measured closed-loop
-        // capacity so the rate is sustainable at every worker count.
-        let engine = start_engine();
-        let rate = (closed.throughput_rps() / 2.0).max(50.0);
-        let open = loadgen::open_loop(&engine, &workload, rate, open_requests);
-        let open_stats = engine.shutdown();
-
-        assert_eq!(
-            closed.mismatches + open.mismatches,
-            0,
-            "serving outputs diverged from the dense reference"
+        let report = harness::run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: requests_for(&arrival),
+                shards,
+                seed: opts.seed,
+                // Backlog policy: a generator more than 2 s behind schedule
+                // sheds instead of compressing the arrival process.
+                max_lag: Some(Duration::from_secs(2)),
+            },
         );
-        for (report, stats) in [(&closed, closed_stats), (&open, open_stats)] {
+        let stats = engine.shutdown();
+        assert_eq!(
+            report.mismatches, 0,
+            "serving outputs diverged from the dense reference ({wname}/{mname})"
+        );
+        let elapsed_s = report.elapsed.as_secs_f64().max(1e-9);
+        t.push_row(vec![
+            wname.clone(),
+            mname.clone(),
+            shards.to_string(),
+            "ALL".to_string(),
+            report.scheduled.to_string(),
+            report.completed.to_string(),
+            report.shed().to_string(),
+            report.errors.to_string(),
+            report.mismatches.to_string(),
+            f2(report.throughput_rps()),
+            f2(report.percentile_us(0.50)),
+            f2(report.percentile_us(0.95)),
+            f2(report.percentile_us(0.99)),
+            f2(report.percentile_us(0.999)),
+            f2(stats.mean_batch()),
+            stats.max_batch().to_string(),
+        ]);
+        for m in &report.per_model {
+            let p_us = |q: f64| f2(m.latency.percentile(q) as f64 / 1_000.0);
             t.push_row(vec![
-                report.label.clone(),
-                workers.to_string(),
-                report.completed.to_string(),
-                report.mismatches.to_string(),
-                report.dropped.to_string(),
-                f2(report.throughput_rps()),
-                f2(report.percentile_us(0.50)),
-                f2(report.percentile_us(0.95)),
-                f2(report.percentile_us(0.99)),
-                f2(stats.mean_batch()),
-                stats.batch_percentile(0.9).to_string(),
+                wname.clone(),
+                mname.clone(),
+                shards.to_string(),
+                m.name.clone(),
+                m.scheduled.to_string(),
+                m.completed.to_string(),
+                m.shed.to_string(),
+                m.errors.to_string(),
+                m.mismatches.to_string(),
+                f2(m.completed as f64 / elapsed_s),
+                p_us(0.50),
+                p_us(0.95),
+                p_us(0.99),
+                p_us(0.999),
+                "-".to_string(),
+                "-".to_string(),
             ]);
         }
     }
@@ -1109,23 +1296,97 @@ mod tests {
     }
 
     #[test]
-    fn serve_quick_completes_with_zero_mismatches() {
-        let t = serve(true, BackendKind::BatchThreads);
-        assert_eq!(t.rows.len(), 2); // one closed + one open-loop row
+    fn serve_load_quick_matrix_is_clean_and_accounted() {
+        let t = serve_load(true, &ServeOpts::default());
+        // 5 runs × (1 ALL row + 3 zoo models).
+        assert_eq!(t.rows.len(), 5 * 4);
         for row in &t.rows {
-            assert!(row[2].parse::<u64>().unwrap() > 0, "no requests: {row:?}");
-            assert_eq!(row[3], "0", "mismatches: {row:?}");
-            assert!(row[5].parse::<f64>().unwrap() > 0.0, "throughput: {row:?}");
+            assert_eq!(row[8], "0", "mismatches: {row:?}");
+            let scheduled: u64 = row[4].parse().unwrap();
+            let completed: u64 = row[5].parse().unwrap();
+            let shed: u64 = row[6].parse().unwrap();
+            let errors: u64 = row[7].parse().unwrap();
+            assert_eq!(
+                completed + shed + errors,
+                scheduled,
+                "lost requests: {row:?}"
+            );
+        }
+        // The acceptance pair: closed/sequential at 1 and 8 shards, both
+        // completing everything (closed loops never shed).
+        for shards in ["1", "8"] {
+            let row = t
+                .rows
+                .iter()
+                .find(|r| r[0] == "closed" && r[2] == shards && r[3] == "ALL")
+                .unwrap_or_else(|| panic!("missing closed x{shards} row"));
+            assert_eq!(row[4], row[5], "closed run must complete all: {row:?}");
+            assert!(row[9].parse::<f64>().unwrap() > 0.0, "throughput: {row:?}");
+        }
+        // Per-model scheduled counts sum to the run total for every run.
+        for all_row in t.rows.iter().filter(|r| r[3] == "ALL") {
+            let sum: u64 = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == all_row[0] && r[2] == all_row[2] && r[3] != "ALL")
+                .map(|r| r[4].parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(sum.to_string(), all_row[4], "split mismatch: {all_row:?}");
         }
     }
 
     #[test]
-    fn serve_quick_flattened_backend_also_clean() {
-        let t = serve(true, BackendKind::Flattened);
-        assert_eq!(t.rows.len(), 2);
-        for row in &t.rows {
-            assert_eq!(row[3], "0", "mismatches: {row:?}");
+    fn serve_load_single_workload_and_model_subset() {
+        let opts = ServeOpts {
+            backend: BackendKind::Flattened,
+            workload: Some("open".to_string()),
+            mix: Some("sequential".to_string()),
+            models: vec!["tiny".to_string()],
+            rate_hz: Some(500.0),
+            requests: Some(20),
+            shards: Some(2),
+            ..ServeOpts::default()
+        };
+        let t = serve_load(true, &opts);
+        assert_eq!(t.rows.len(), 2); // one run, one model
+        assert_eq!(t.rows[0][0], "open");
+        assert_eq!(t.rows[0][4], "20");
+        assert_eq!(t.rows[1][3], "tiny");
+        assert_eq!(t.rows[0][8], "0", "mismatches");
+    }
+
+    #[test]
+    fn serve_load_same_seed_replays_counts() {
+        // Closed-loop runs are structurally deterministic: the same seed
+        // must reproduce every count column (timing columns excluded).
+        let opts = ServeOpts {
+            workload: Some("closed".to_string()),
+            mix: Some("hotcold".to_string()),
+            requests: Some(30),
+            seed: 0xFEED,
+            ..ServeOpts::default()
+        };
+        let a = serve_load(true, &opts);
+        let b = serve_load(true, &opts);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            // workload, mix, shards, model, scheduled, completed, shed,
+            // errors, mismatch — everything before the timing columns.
+            assert_eq!(ra[..9], rb[..9], "replay diverged");
         }
+        // A different seed draws a different hot/cold split.
+        let c = serve_load(
+            true,
+            &ServeOpts {
+                seed: 0xBEEF,
+                ..opts
+            },
+        );
+        assert_ne!(
+            a.rows.iter().map(|r| r[4].clone()).collect::<Vec<_>>(),
+            c.rows.iter().map(|r| r[4].clone()).collect::<Vec<_>>(),
+            "different seed must change the per-model split"
+        );
     }
 
     #[test]

@@ -27,6 +27,18 @@ pub mod cli {
             .and_then(|i| args.get(i + 1))
     }
 
+    /// The values of **every** `--flag VALUE` occurrence in `args`, in
+    /// order — for repeatable flags like `--model` where each occurrence
+    /// adds to a set instead of overriding.
+    #[must_use]
+    pub fn arg_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a String> {
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .filter_map(|(i, _)| args.get(i + 1))
+            .collect()
+    }
+
     /// Indices in `args` occupied by the value of **any** occurrence of any
     /// of `flags`, so positional-argument scans can exclude flag values by
     /// position rather than by string (an experiment name that happens to
@@ -65,6 +77,32 @@ pub mod cli {
         fn every_occurrence_is_excluded_positionally() {
             let args = argv(&["--backend", "batch", "serve", "--backend", "flattened"]);
             assert_eq!(flag_value_positions(&args, &["--backend", "--out"]), [1, 4]);
+        }
+
+        #[test]
+        fn repeated_flags_collect_in_order() {
+            let args = argv(&["serve", "--model", "tiny", "--model", "tiny-b"]);
+            assert_eq!(arg_values(&args, "--model"), ["tiny", "tiny-b"]);
+            assert!(arg_values(&args, "--mix").is_empty());
+            // A trailing valueless occurrence contributes nothing.
+            let args = argv(&["--model", "tiny", "--model"]);
+            assert_eq!(arg_values(&args, "--model"), ["tiny"]);
+        }
+
+        #[test]
+        fn repeated_flag_values_never_swallow_experiment_names() {
+            // `serve` as a flag VALUE must be excluded positionally while
+            // the positional `serve` (index 4) still selects the experiment.
+            let args = argv(&["--model", "serve", "--mix", "hotcold", "serve"]);
+            let taken = flag_value_positions(&args, &["--model", "--mix"]);
+            assert_eq!(taken, [1, 3]);
+            let positional: Vec<&String> = args
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| !a.starts_with("--") && !taken.contains(i))
+                .map(|(_, a)| a)
+                .collect();
+            assert_eq!(positional, ["serve"]);
         }
     }
 }

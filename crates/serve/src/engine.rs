@@ -432,6 +432,36 @@ impl Engine {
         self.queue.len()
     }
 
+    /// Snapshot of the aggregate counters while the engine is live.
+    ///
+    /// The harness reads this between workload runs without tearing the
+    /// engine down; [`Engine::shutdown`] returns the final totals.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batch_size_counts: self
+                .counters
+                .batch_sizes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Stops accepting new requests without joining the workers.
+    ///
+    /// Queued requests still drain and their responses still arrive;
+    /// subsequent submits fail with [`ServeError::ShuttingDown`]. Needs only
+    /// `&self`, so a load generator mid-run can trigger shutdown from
+    /// another thread — the backpressure-shutdown path the regression suite
+    /// exercises. Call [`Engine::shutdown`] afterwards to join the workers
+    /// and collect final stats.
+    pub fn begin_shutdown(&self) {
+        self.queue.close();
+    }
+
     /// Stops accepting requests, drains the queue, joins all workers, and
     /// returns the aggregate counters.
     #[must_use]

@@ -1,0 +1,604 @@
+//! The load harness: executes a [`Workload`] schedule against a live
+//! [`Engine`] across sharded generator threads, with bit-exact response
+//! verification and merged per-shard statistics.
+//!
+//! Each generator shard owns its slice of the schedule (round-robin
+//! interleaved, so every shard sees the same arrival pattern) and records
+//! into its **own** [`LatencyHistogram`] — no shared mutex on the hot
+//! recording path. Shard tallies are merged into one [`HarnessReport`] at
+//! report time; the merge is exact, so the merged percentiles equal the
+//! whole-stream percentiles (property-tested in
+//! `crates/serve/tests/sharded_stats.rs`).
+//!
+//! Scheduled (open-loop) requests are coordinated-omission-aware: latency
+//! is charged from the request's *intended* send time, a full queue is a
+//! counted shed rather than a stall, and a generator that falls further
+//! than [`RunConfig::max_lag`] behind schedule sheds the overdue request
+//! instead of silently compressing the arrival process. Every scheduled
+//! request therefore lands in exactly one counter:
+//! `scheduled == completed + shed_queue + shed_lag + errors`.
+
+use std::time::{Duration, Instant};
+
+use ucnn_tensor::Tensor3;
+
+use crate::engine::{Engine, Pending, ServeError};
+use crate::histogram::LatencyHistogram;
+use crate::workload::{RequestSpec, Workload};
+
+/// One verified request case: an input and its dense-reference output.
+pub type Case = (Tensor3<i16>, Tensor3<i32>);
+
+/// A registered model plus the verified cases requests draw from.
+pub struct ModelCases {
+    /// Registered model name (must exist in the engine's registry).
+    pub name: String,
+    /// Verified cases (input, expected dense-reference output).
+    pub cases: Vec<Case>,
+}
+
+/// Harness run knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Total requests in the schedule (split across shards).
+    pub requests: usize,
+    /// Generator threads; shard `i` drives schedule entries `i, i+shards, …`.
+    pub shards: usize,
+    /// RNG seed — same seed and config replay the identical request stream.
+    pub seed: u64,
+    /// Open-loop backlog policy: a request whose intended send time is more
+    /// than this far in the past is shed (counted in
+    /// [`HarnessReport::shed_lag`]) instead of sent late. `None` never
+    /// sheds on lag.
+    pub max_lag: Option<Duration>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            requests: 256,
+            shards: 1,
+            seed: 0,
+            max_lag: None,
+        }
+    }
+}
+
+/// Per-model slice of a [`HarnessReport`].
+#[derive(Clone, Debug)]
+pub struct ModelBreakdown {
+    /// Registered model name.
+    pub name: String,
+    /// Requests the schedule aimed at this model.
+    pub scheduled: u64,
+    /// Responses received and verified.
+    pub completed: u64,
+    /// Requests shed (full queue or backlog policy).
+    pub shed: u64,
+    /// Submit/wait errors.
+    pub errors: u64,
+    /// Responses that differed from the dense reference.
+    pub mismatches: u64,
+    /// End-to-end latency distribution (nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+/// Outcome of one harness run, merged across all generator shards.
+#[derive(Clone, Debug)]
+pub struct HarnessReport {
+    /// Workload label plus shard count.
+    pub label: String,
+    /// Generator threads used.
+    pub shards: usize,
+    /// Requests in the schedule.
+    pub scheduled: u64,
+    /// Responses received and verified.
+    pub completed: u64,
+    /// Open-loop requests shed because the queue was full.
+    pub shed_queue: u64,
+    /// Open-loop requests shed by the [`RunConfig::max_lag`] backlog policy.
+    pub shed_lag: u64,
+    /// Submit/wait errors (engine shutdown mid-run, worker loss).
+    pub errors: u64,
+    /// Responses whose output differed from the dense reference.
+    pub mismatches: u64,
+    /// Wall-clock from run start to last completion.
+    pub elapsed: Duration,
+    /// End-to-end latency distribution (nanoseconds), merged across shards.
+    pub latency: LatencyHistogram,
+    /// Distribution of the engine batch sizes responses rode in (exact:
+    /// batch sizes sit in the histogram's linear region).
+    pub batch_sizes: LatencyHistogram,
+    /// Per-model breakdown, index-aligned with the harness's model set.
+    pub per_model: Vec<ModelBreakdown>,
+}
+
+impl HarnessReport {
+    /// Total requests shed (queue-full plus backlog policy).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_queue + self.shed_lag
+    }
+
+    /// Fraction of scheduled requests shed.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.scheduled as f64
+        }
+    }
+
+    /// Completed requests per second of wall-clock.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Latency quantile in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        self.latency.percentile(q) as f64 / 1_000.0
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Mean engine batch size observed across responses (request-weighted).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+
+    /// Largest engine batch any response rode in.
+    #[must_use]
+    pub fn max_batch(&self) -> u64 {
+        self.batch_sizes.max()
+    }
+}
+
+/// Per-shard tally, merged into the report once all shards join.
+struct ShardTally {
+    latency: LatencyHistogram,
+    batch_sizes: LatencyHistogram,
+    completed: u64,
+    shed_queue: u64,
+    shed_lag: u64,
+    errors: u64,
+    mismatches: u64,
+    per_model: Vec<ModelTally>,
+}
+
+struct ModelTally {
+    scheduled: u64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    mismatches: u64,
+    latency: LatencyHistogram,
+}
+
+impl ShardTally {
+    fn new(models: usize) -> Self {
+        Self {
+            latency: LatencyHistogram::new(),
+            batch_sizes: LatencyHistogram::new(),
+            completed: 0,
+            shed_queue: 0,
+            shed_lag: 0,
+            errors: 0,
+            mismatches: 0,
+            per_model: (0..models)
+                .map(|_| ModelTally {
+                    scheduled: 0,
+                    completed: 0,
+                    shed: 0,
+                    errors: 0,
+                    mismatches: 0,
+                    latency: LatencyHistogram::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Expands the workload's schedule and drives it against the engine across
+/// `cfg.shards` generator threads.
+///
+/// Closed-loop entries (no offset) submit with backpressure and wait
+/// inline, latency measured from the submit instant. Scheduled entries
+/// sleep until their intended send time, submit without blocking (a full
+/// queue is a shed), and are waited on after dispatch with latency charged
+/// from the *intended* time — never from a lagging actual send.
+///
+/// # Panics
+///
+/// Panics if `models` is empty, any model has no cases, the schedule
+/// references a model index out of range, or `cfg.shards == 0`.
+#[must_use]
+pub fn run(
+    engine: &Engine,
+    models: &[ModelCases],
+    workload: &dyn Workload,
+    cfg: RunConfig,
+) -> HarnessReport {
+    assert!(!models.is_empty(), "need at least one model");
+    assert!(cfg.shards > 0, "need at least one shard");
+    for model in models {
+        assert!(
+            !model.cases.is_empty(),
+            "model '{}' has no cases",
+            model.name
+        );
+    }
+    let schedule = workload.schedule(cfg.requests, models.len(), cfg.seed);
+    assert!(
+        schedule.iter().all(|s| s.model < models.len()),
+        "schedule references a model index out of range"
+    );
+
+    let started = Instant::now();
+    let tallies: Vec<ShardTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.shards)
+            .map(|shard| {
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let specs = schedule.iter().skip(shard).step_by(cfg.shards);
+                    run_shard(engine, models, specs, started, cfg.max_lag)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = HarnessReport {
+        label: format!("{} x{} shards", workload.label(), cfg.shards),
+        shards: cfg.shards,
+        scheduled: schedule.len() as u64,
+        completed: 0,
+        shed_queue: 0,
+        shed_lag: 0,
+        errors: 0,
+        mismatches: 0,
+        elapsed,
+        latency: LatencyHistogram::new(),
+        batch_sizes: LatencyHistogram::new(),
+        per_model: models
+            .iter()
+            .map(|m| ModelBreakdown {
+                name: m.name.clone(),
+                scheduled: 0,
+                completed: 0,
+                shed: 0,
+                errors: 0,
+                mismatches: 0,
+                latency: LatencyHistogram::new(),
+            })
+            .collect(),
+    };
+    for tally in &tallies {
+        report.latency.merge(&tally.latency);
+        report.batch_sizes.merge(&tally.batch_sizes);
+        report.completed += tally.completed;
+        report.shed_queue += tally.shed_queue;
+        report.shed_lag += tally.shed_lag;
+        report.errors += tally.errors;
+        report.mismatches += tally.mismatches;
+        for (out, shard) in report.per_model.iter_mut().zip(&tally.per_model) {
+            out.scheduled += shard.scheduled;
+            out.completed += shard.completed;
+            out.shed += shard.shed;
+            out.errors += shard.errors;
+            out.mismatches += shard.mismatches;
+            out.latency.merge(&shard.latency);
+        }
+    }
+    assert_eq!(
+        report.scheduled,
+        report.completed + report.shed_queue + report.shed_lag + report.errors,
+        "every scheduled request must land in exactly one counter"
+    );
+    report
+}
+
+fn run_shard<'a>(
+    engine: &Engine,
+    models: &[ModelCases],
+    specs: impl Iterator<Item = &'a RequestSpec>,
+    started: Instant,
+    max_lag: Option<Duration>,
+) -> ShardTally {
+    let mut tally = ShardTally::new(models.len());
+    // Scheduled (open-loop) requests dispatched but not yet waited on:
+    // (model index, case index, intended send time, pending handle).
+    let mut in_flight: Vec<(usize, usize, Instant, Pending)> = Vec::new();
+    for spec in specs {
+        let model = &models[spec.model];
+        let case_idx = (spec.case_draw % model.cases.len() as u64) as usize;
+        let m = &mut tally.per_model[spec.model];
+        m.scheduled += 1;
+        match spec.offset {
+            None => {
+                // Closed loop: send as soon as the previous response is
+                // back, latency from the submit instant.
+                let input = model.cases[case_idx].0.clone();
+                let sent = Instant::now();
+                match engine.submit(&model.name, input).and_then(Pending::wait) {
+                    Ok(resp) => {
+                        let latency = ns(resp.completed_at.duration_since(sent));
+                        tally.latency.record(latency);
+                        tally.batch_sizes.record(resp.batch_size as u64);
+                        tally.completed += 1;
+                        m.completed += 1;
+                        m.latency.record(latency);
+                        if resp.output != model.cases[case_idx].1 {
+                            tally.mismatches += 1;
+                            m.mismatches += 1;
+                        }
+                    }
+                    Err(_) => {
+                        // Keep iterating even through ShuttingDown so every
+                        // scheduled request is accounted for.
+                        tally.errors += 1;
+                        m.errors += 1;
+                    }
+                }
+            }
+            Some(offset) => {
+                let intended = started + offset;
+                let now = Instant::now();
+                if let Some(lag) = max_lag {
+                    if now > intended + lag {
+                        // Too far behind schedule: shed instead of sending
+                        // late and compressing the arrival process.
+                        tally.shed_lag += 1;
+                        m.shed += 1;
+                        continue;
+                    }
+                }
+                if intended > now {
+                    std::thread::sleep(intended - now);
+                }
+                let input = model.cases[case_idx].0.clone();
+                match engine.try_submit(&model.name, input) {
+                    Ok(pending) => in_flight.push((spec.model, case_idx, intended, pending)),
+                    Err(ServeError::Overloaded) => {
+                        tally.shed_queue += 1;
+                        m.shed += 1;
+                    }
+                    Err(_) => {
+                        tally.errors += 1;
+                        m.errors += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (model_idx, case_idx, intended, pending) in in_flight {
+        let model = &models[model_idx];
+        let m = &mut tally.per_model[model_idx];
+        match pending.wait() {
+            Ok(resp) => {
+                // Coordinated omission: charge from the intended send time.
+                let latency = ns(resp.completed_at.duration_since(intended));
+                tally.latency.record(latency);
+                tally.batch_sizes.record(resp.batch_size as u64);
+                tally.completed += 1;
+                m.completed += 1;
+                m.latency.record(latency);
+                if resp.output != model.cases[case_idx].1 {
+                    tally.mismatches += 1;
+                    m.mismatches += 1;
+                }
+            }
+            Err(_) => {
+                tally.errors += 1;
+                m.errors += 1;
+            }
+        }
+    }
+    tally
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::registry::ModelRegistry;
+    use crate::workload::{Arrival, Mix, StandardWorkload};
+    use std::sync::Arc;
+    use ucnn_core::compile::UcnnConfig;
+    use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
+
+    fn setup(model_count: usize, config: EngineConfig) -> (Engine, Vec<ModelCases>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let tiny = networks::tiny();
+        let mut agen = ActivationGen::new(90);
+        let models: Vec<ModelCases> = (0..model_count)
+            .map(|i| {
+                let name = if i == 0 {
+                    "tiny".to_string()
+                } else {
+                    format!("tiny-{i}")
+                };
+                let mut spec = ucnn_model::NetworkSpec::new(&name);
+                for layer in tiny.layers() {
+                    spec.push(layer.clone());
+                }
+                let weights = forward::generate_network_weights(
+                    &spec,
+                    QuantScheme::inq(),
+                    91 + i as u64,
+                    0.9,
+                );
+                registry.compile_and_insert(&spec, &weights, &UcnnConfig::with_g(2));
+                let cases: Vec<Case> = (0..3)
+                    .map(|_| {
+                        let input = agen.generate_for(&spec.conv_layers()[0]);
+                        let expected = forward::dense_forward(&spec, &weights, &input);
+                        (input, expected)
+                    })
+                    .collect();
+                ModelCases { name, cases }
+            })
+            .collect();
+        (Engine::start(registry, config), models)
+    }
+
+    #[test]
+    fn closed_run_accounts_for_every_request() {
+        let (engine, models) = setup(
+            2,
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 32,
+                max_batch: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::Sequential,
+        };
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 24,
+                shards: 3,
+                seed: 1,
+                max_lag: None,
+            },
+        );
+        assert_eq!(report.scheduled, 24);
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.latency.count(), 24);
+        // Sequential mix over 2 models: even split, every slice verified.
+        for m in &report.per_model {
+            assert_eq!(m.scheduled, 12, "model {}", m.name);
+            assert_eq!(m.completed, 12);
+            assert_eq!(m.mismatches, 0);
+            assert_eq!(m.latency.count(), 12);
+        }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn open_run_sheds_on_full_queue_without_stalling() {
+        let (engine, models) = setup(
+            1,
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let wl = StandardWorkload {
+            arrival: Arrival::Open {
+                rate_hz: 1_000_000.0,
+            },
+            mix: Mix::Uniform,
+        };
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 50,
+                shards: 2,
+                seed: 2,
+                max_lag: None,
+            },
+        );
+        assert_eq!(
+            report.completed + report.shed() + report.errors,
+            50,
+            "zero lost requests"
+        );
+        assert!(report.shed_queue > 0, "expected queue-full sheds");
+        assert_eq!(report.mismatches, 0);
+        assert!(report.shed_rate() > 0.0);
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn backlog_policy_sheds_overdue_requests() {
+        let (engine, models) = setup(1, EngineConfig::default());
+        // A schedule entirely in the past (rate so high every intended time
+        // is immediately overdue) with a zero-tolerance backlog policy:
+        // after the first few sends, everything lags and is shed.
+        let wl = StandardWorkload {
+            arrival: Arrival::Open {
+                rate_hz: 10_000_000.0,
+            },
+            mix: Mix::Uniform,
+        };
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 200,
+                shards: 1,
+                seed: 3,
+                max_lag: Some(Duration::ZERO),
+            },
+        );
+        assert_eq!(
+            report.completed + report.shed() + report.errors,
+            200,
+            "zero lost requests"
+        );
+        assert!(report.shed_lag > 0, "expected backlog sheds");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn report_survives_shutdown_mid_run() {
+        let (engine, models) = setup(1, EngineConfig::default());
+        engine.begin_shutdown();
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::Uniform,
+        };
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 10,
+                shards: 2,
+                seed: 4,
+                max_lag: None,
+            },
+        );
+        // Every request fails with ShuttingDown but none are lost.
+        assert_eq!(report.errors, 10);
+        assert_eq!(report.completed, 0);
+        let stats = engine.shutdown();
+        assert_eq!(stats.served, 0);
+    }
+}

@@ -17,13 +17,18 @@ const LINEAR: usize = 1 << (PRECISION_BITS + 1);
 const BUCKETS: usize = LINEAR + (64 - PRECISION_BITS as usize) * (1 << PRECISION_BITS);
 
 fn index_of(value: u64) -> usize {
-    let v = value | 1; // 0 shares the first bucket
-    let msb = 63 - v.leading_zeros();
-    if msb <= PRECISION_BITS {
-        v as usize
+    if value < LINEAR as u64 {
+        // The linear region is bucket-per-value: `index_of` must be the
+        // identity here or "exact below 2^(P+1)" is a lie. (An earlier
+        // version computed `value | 1` to make `leading_zeros` safe on 0,
+        // which silently bumped every *even* value below LINEAR into the
+        // odd bucket above it — surfaced by the sharded-merge property
+        // tests comparing merged percentiles against the raw stream.)
+        value as usize
     } else {
+        let msb = 63 - value.leading_zeros();
         let shift = msb - PRECISION_BITS;
-        let mantissa = (v >> shift) as usize; // in [2^P, 2^(P+1))
+        let mantissa = (value >> shift) as usize; // in [2^P, 2^(P+1))
         LINEAR + (shift as usize - 1) * (1 << PRECISION_BITS) + (mantissa - (1 << PRECISION_BITS))
     }
 }
@@ -150,8 +155,12 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Merges another histogram into this one (used to combine per-client
-    /// recordings without cross-thread locking).
+    /// Merges another histogram into this one (used to combine per-shard
+    /// recordings without cross-thread locking). Merging is exact: the
+    /// merged histogram is bucket-for-bucket identical to one that recorded
+    /// the concatenated streams, so percentiles of the merge equal
+    /// percentiles of the whole stream — the contract the sharded-stats
+    /// property tests pin down.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -160,6 +169,20 @@ impl LatencyHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Merges a set of per-shard histograms into one (report-time
+    /// combination of lock-free per-thread recordings).
+    #[must_use]
+    pub fn merged<'a, I>(shards: I) -> LatencyHistogram
+    where
+        I: IntoIterator<Item = &'a LatencyHistogram>,
+    {
+        let mut out = LatencyHistogram::new();
+        for shard in shards {
+            out.merge(shard);
+        }
+        out
     }
 }
 
@@ -177,6 +200,25 @@ mod tests {
         assert_eq!(h.max(), 63);
         assert_eq!(h.percentile(1.0), 63);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn even_linear_values_are_exact() {
+        // Regression: `index_of` used to compute `value | 1`, bumping every
+        // even value below LINEAR into the odd bucket above it, so a
+        // histogram of {4, 10} reported p50 = 5. The linear region must be
+        // bucket-per-value.
+        for v in 0..LINEAR as u64 {
+            assert_eq!(index_of(v), v as usize, "linear bucket for {v}");
+            assert_eq!(value_of(index_of(v)), v, "linear edge for {v}");
+        }
+        let mut h = LatencyHistogram::new();
+        h.record(4);
+        h.record(10);
+        assert_eq!(h.percentile(0.5), 4);
+        assert_eq!(h.percentile(1.0), 10);
+        // The octave path starts exactly at LINEAR and stays contiguous.
+        assert_eq!(index_of(LINEAR as u64), LINEAR);
     }
 
     #[test]

@@ -17,10 +17,18 @@
 //!   and every response stays bit-identical to the dense reference at
 //!   every batch size and thread count.
 //! * [`LatencyHistogram`] — HDR-style log-bucketed latency recording with
-//!   ≤ ~3 % relative error.
-//! * [`loadgen`] — closed-loop and fixed-rate open-loop stress drivers
-//!   that verify every response against precomputed dense outputs and
-//!   report throughput with p50/p95/p99 latency.
+//!   ≤ ~3 % relative error and exact shard merging.
+//! * [`workload`] — the workload zoo: a [`Workload`] trait with pluggable
+//!   arrival processes (closed, open-loop fixed-rate, bursty, ramp) and
+//!   model mixes (uniform, hot/cold, sequential), expanding into
+//!   seed-replayable schedules that are pure functions of
+//!   `(requests, models, seed)`.
+//! * [`harness`] — executes a schedule across sharded generator threads
+//!   (one histogram per shard, merged at report time), with
+//!   coordinated-omission-aware open-loop latency, shed accounting, and
+//!   bit-exact per-model verification.
+//! * [`loadgen`] — thin single-model closed/open-loop front-ends over the
+//!   harness, kept for quick smoke tests.
 //!
 //! # Quickstart
 //!
@@ -28,7 +36,9 @@
 //! use std::sync::Arc;
 //! use ucnn_core::compile::UcnnConfig;
 //! use ucnn_model::{forward, networks, ActivationGen, QuantScheme};
-//! use ucnn_serve::{loadgen, Engine, EngineConfig, ModelRegistry};
+//! use ucnn_serve::harness::{self, ModelCases, RunConfig};
+//! use ucnn_serve::workload::{Arrival, Mix, StandardWorkload};
+//! use ucnn_serve::{Engine, EngineConfig, ModelRegistry};
 //!
 //! // Compile once...
 //! let registry = Arc::new(ModelRegistry::new());
@@ -36,21 +46,23 @@
 //! let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 1, 0.9);
 //! registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
 //!
-//! // ...serve many.
+//! // ...serve many, under a deterministic workload.
 //! let engine = Engine::start(registry, EngineConfig { workers: 2, ..EngineConfig::default() });
 //! let mut agen = ActivationGen::new(2);
-//! let cases: Vec<loadgen::Case> = (0..2)
+//! let cases: Vec<harness::Case> = (0..2)
 //!     .map(|_| {
 //!         let input = agen.generate_for(&net.conv_layers()[0]);
 //!         let expected = forward::dense_forward(&net, &weights, &input);
 //!         (input, expected)
 //!     })
 //!     .collect();
-//! let report = loadgen::closed_loop(
+//! let models = vec![ModelCases { name: "tiny".into(), cases }];
+//! let wl = StandardWorkload { arrival: Arrival::Closed, mix: Mix::Sequential };
+//! let report = harness::run(
 //!     &engine,
-//!     &loadgen::Workload { model: "tiny", cases: &cases },
-//!     2,
-//!     3,
+//!     &models,
+//!     &wl,
+//!     RunConfig { requests: 6, shards: 2, seed: 7, max_lag: None },
 //! );
 //! assert_eq!(report.completed, 6);
 //! assert_eq!(report.mismatches, 0);
@@ -61,12 +73,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod harness;
 pub mod histogram;
 pub mod loadgen;
 pub mod queue;
 pub mod registry;
+pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineStats, Pending, ServeError, ServeResponse};
+pub use harness::{HarnessReport, ModelBreakdown, ModelCases, RunConfig};
 pub use histogram::LatencyHistogram;
-pub use loadgen::{LoadReport, Workload};
+pub use loadgen::LoadReport;
 pub use registry::ModelRegistry;
+pub use workload::{Arrival, Mix, RequestSpec, StandardWorkload, Workload};

@@ -1,41 +1,26 @@
-//! Load generators: closed-loop and fixed-rate open-loop stress drivers
-//! with bit-exact response verification.
+//! Convenience load generators: single-model closed-loop and fixed-rate
+//! open-loop drivers, kept as thin front-ends over the full
+//! [`harness`] + [`crate::workload`] machinery.
 //!
-//! * **Closed loop** — `N` client threads each issue requests back to back;
-//!   offered load adapts to service capacity (the engine's bounded queue
-//!   provides backpressure). Measures attainable throughput.
-//! * **Open loop** — requests are dispatched on a fixed schedule regardless
-//!   of completions, the way production traffic arrives. Latency is
-//!   measured from the *scheduled* arrival time, so queueing delay from a
-//!   saturated engine is charged to the engine, not silently absorbed by a
-//!   stalled generator (no coordinated omission).
-//!
-//! Every response is compared bit for bit against a precomputed dense
-//! reference output; any divergence counts as a mismatch in the report.
+//! These preserve the original PR-2 API shape (one model, a flat report)
+//! for quick smoke tests and the `serve_stress` example. Anything beyond
+//! that — multi-model mixes, bursty/ramp arrivals, sharded open loops,
+//! backlog shed policies — lives in [`crate::harness::run`].
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ucnn_tensor::Tensor3;
-
-use crate::engine::{Engine, ServeError};
+use crate::engine::Engine;
+use crate::harness::{self, HarnessReport, ModelCases, RunConfig};
 use crate::histogram::LatencyHistogram;
+use crate::workload::{Arrival, Mix, StandardWorkload};
 
-/// One verified request case: an input and its dense-reference output.
-pub type Case = (Tensor3<i16>, Tensor3<i32>);
+pub use crate::harness::Case;
 
-/// What to drive: a registered model plus verified input/output cases that
-/// clients cycle through round-robin.
-pub struct Workload<'a> {
-    /// Registered model name.
-    pub model: &'a str,
-    /// Verified cases (input, expected dense-reference output).
-    pub cases: &'a [Case],
-}
-
-/// Outcome of one load-generation run.
+/// Outcome of one load-generation run (flattened single-model view of a
+/// [`HarnessReport`]).
 #[derive(Clone, Debug)]
 pub struct LoadReport {
-    /// Human-readable run label (mode, workers, clients/rate).
+    /// Human-readable run label (mode, clients/rate).
     pub label: String,
     /// Responses received and verified.
     pub completed: u64,
@@ -60,6 +45,19 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
+    fn from_harness(label: String, report: HarnessReport) -> Self {
+        Self {
+            label,
+            completed: report.completed,
+            mismatches: report.mismatches,
+            dropped: report.shed(),
+            errors: report.errors,
+            elapsed: report.elapsed,
+            latency: report.latency,
+            batch_sizes: report.batch_sizes,
+        }
+    }
+
     /// Completed requests per second.
     #[must_use]
     pub fn throughput_rps(&self) -> f64 {
@@ -100,99 +98,62 @@ impl LoadReport {
     }
 }
 
+fn single_model(model: &str, cases: &[Case]) -> Vec<ModelCases> {
+    assert!(!cases.is_empty(), "workload needs cases");
+    vec![ModelCases {
+        name: model.to_string(),
+        cases: cases.to_vec(),
+    }]
+}
+
 /// Runs `clients` concurrent closed-loop clients, each issuing
 /// `iters_per_client` requests back to back, verifying every response.
 ///
 /// # Panics
 ///
-/// Panics if `clients == 0`, `iters_per_client == 0`, or the workload has
-/// no cases.
+/// Panics if `clients == 0`, `iters_per_client == 0`, or `cases` is empty.
 #[must_use]
 pub fn closed_loop(
     engine: &Engine,
-    workload: &Workload<'_>,
+    model: &str,
+    cases: &[Case],
     clients: usize,
     iters_per_client: usize,
 ) -> LoadReport {
     assert!(clients > 0, "need at least one client");
     assert!(iters_per_client > 0, "need at least one iteration");
-    assert!(!workload.cases.is_empty(), "workload needs cases");
-
-    let started = Instant::now();
-    type ClientTally = (LatencyHistogram, LatencyHistogram, u64, u64);
-    let per_client: Vec<ClientTally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|client| {
-                scope.spawn(move || {
-                    let mut hist = LatencyHistogram::new();
-                    let mut batches = LatencyHistogram::new();
-                    let mut mismatches = 0u64;
-                    let mut errors = 0u64;
-                    for i in 0..iters_per_client {
-                        let (input, expected) =
-                            &workload.cases[(client + i * clients) % workload.cases.len()];
-                        let sent = Instant::now();
-                        let outcome = engine
-                            .submit(workload.model, input.clone())
-                            .and_then(crate::engine::Pending::wait);
-                        match outcome {
-                            Ok(resp) => {
-                                hist.record(ns(resp.completed_at.duration_since(sent)));
-                                batches.record(resp.batch_size as u64);
-                                if &resp.output != expected {
-                                    mismatches += 1;
-                                }
-                            }
-                            Err(ServeError::ShuttingDown) => {
-                                errors += 1;
-                                break;
-                            }
-                            Err(_) => errors += 1,
-                        }
-                    }
-                    (hist, batches, mismatches, errors)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let elapsed = started.elapsed();
-
-    let mut latency = LatencyHistogram::new();
-    let mut batch_sizes = LatencyHistogram::new();
-    let mut mismatches = 0u64;
-    let mut errors = 0u64;
-    for (h, b, m, e) in &per_client {
-        latency.merge(h);
-        batch_sizes.merge(b);
-        mismatches += m;
-        errors += e;
-    }
-    LoadReport {
-        label: format!("closed-loop x{clients} clients"),
-        completed: latency.count(),
-        mismatches,
-        dropped: 0,
-        errors,
-        elapsed,
-        latency,
-        batch_sizes,
-    }
+    let workload = StandardWorkload {
+        arrival: Arrival::Closed,
+        mix: Mix::Sequential,
+    };
+    let report = harness::run(
+        engine,
+        &single_model(model, cases),
+        &workload,
+        RunConfig {
+            requests: clients * iters_per_client,
+            shards: clients,
+            seed: 0,
+            max_lag: None,
+        },
+    );
+    LoadReport::from_harness(format!("closed-loop x{clients} clients"), report)
 }
 
 /// Dispatches `requests` requests at a fixed `rate_hz`, regardless of
 /// completions, then waits for all of them. Latency is charged from each
-/// request's *scheduled* arrival time; requests hitting a full queue are
-/// dropped and counted, not retried.
+/// request's *intended* send time (no coordinated omission); requests
+/// hitting a full queue are dropped and counted, not retried.
 ///
 /// # Panics
 ///
-/// Panics if `rate_hz` is not finite-positive, `requests == 0`, or the
-/// workload has no cases.
+/// Panics if `rate_hz` is not finite-positive, `requests == 0`, or `cases`
+/// is empty.
 #[must_use]
 pub fn open_loop(
     engine: &Engine,
-    workload: &Workload<'_>,
+    model: &str,
+    cases: &[Case],
     rate_hz: f64,
     requests: usize,
 ) -> LoadReport {
@@ -201,58 +162,22 @@ pub fn open_loop(
         "rate must be positive"
     );
     assert!(requests > 0, "need at least one request");
-    assert!(!workload.cases.is_empty(), "workload needs cases");
-
-    let interval = Duration::from_secs_f64(1.0 / rate_hz);
-    let started = Instant::now();
-    let mut pending = Vec::with_capacity(requests);
-    let mut dropped = 0u64;
-    let mut errors = 0u64;
-    for i in 0..requests {
-        let scheduled = started + interval * i as u32;
-        let now = Instant::now();
-        if scheduled > now {
-            std::thread::sleep(scheduled - now);
-        }
-        let (input, _) = &workload.cases[i % workload.cases.len()];
-        match engine.try_submit(workload.model, input.clone()) {
-            Ok(p) => pending.push((i, scheduled, p)),
-            Err(ServeError::Overloaded) => dropped += 1,
-            Err(_) => errors += 1,
-        }
-    }
-
-    let mut latency = LatencyHistogram::new();
-    let mut batch_sizes = LatencyHistogram::new();
-    let mut mismatches = 0u64;
-    for (i, scheduled, p) in pending {
-        match p.wait() {
-            Ok(resp) => {
-                latency.record(ns(resp.completed_at.duration_since(scheduled)));
-                batch_sizes.record(resp.batch_size as u64);
-                if resp.output != workload.cases[i % workload.cases.len()].1 {
-                    mismatches += 1;
-                }
-            }
-            Err(_) => errors += 1,
-        }
-    }
-    let elapsed = started.elapsed();
-
-    LoadReport {
-        label: format!("open-loop @{rate_hz:.0} req/s"),
-        completed: latency.count(),
-        mismatches,
-        dropped,
-        errors,
-        elapsed,
-        latency,
-        batch_sizes,
-    }
-}
-
-fn ns(d: Duration) -> u64 {
-    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+    let workload = StandardWorkload {
+        arrival: Arrival::Open { rate_hz },
+        mix: Mix::Sequential,
+    };
+    let report = harness::run(
+        engine,
+        &single_model(model, cases),
+        &workload,
+        RunConfig {
+            requests,
+            shards: 1,
+            seed: 0,
+            max_lag: None,
+        },
+    );
+    LoadReport::from_harness(format!("open-loop @{rate_hz:.0} req/s"), report)
 }
 
 #[cfg(test)]
@@ -293,11 +218,7 @@ mod tests {
     #[test]
     fn closed_loop_completes_and_verifies() {
         let (engine, cases) = setup(2, 16);
-        let workload = Workload {
-            model: "tiny",
-            cases: &cases,
-        };
-        let report = closed_loop(&engine, &workload, 3, 4);
+        let report = closed_loop(&engine, "tiny", &cases, 3, 4);
         assert_eq!(report.completed, 12);
         assert_eq!(report.mismatches, 0);
         assert_eq!(report.errors, 0);
@@ -312,11 +233,7 @@ mod tests {
     #[test]
     fn open_loop_completes_and_verifies() {
         let (engine, cases) = setup(2, 64);
-        let workload = Workload {
-            model: "tiny",
-            cases: &cases,
-        };
-        let report = open_loop(&engine, &workload, 500.0, 20);
+        let report = open_loop(&engine, "tiny", &cases, 500.0, 20);
         assert_eq!(report.completed + report.dropped, 20);
         assert_eq!(report.mismatches, 0);
         assert!(report.throughput_rps() > 0.0);
@@ -328,11 +245,7 @@ mod tests {
         // 1 worker, capacity 1, very high rate: most requests must be
         // dropped, none may block the dispatcher.
         let (engine, cases) = setup(1, 1);
-        let workload = Workload {
-            model: "tiny",
-            cases: &cases,
-        };
-        let report = open_loop(&engine, &workload, 1_000_000.0, 50);
+        let report = open_loop(&engine, "tiny", &cases, 1_000_000.0, 50);
         assert_eq!(report.completed + report.dropped, 50);
         assert!(report.dropped > 0, "expected drops under overload");
         assert_eq!(report.mismatches, 0);

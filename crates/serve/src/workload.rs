@@ -1,0 +1,439 @@
+//! The workload zoo: deterministic, seed-replayable request-stream
+//! generation with pluggable arrival processes and model-population mixes.
+//!
+//! A load run is described in two halves:
+//!
+//! * **What to send, and when** — a [`Workload`] turns `(requests, models,
+//!   seed)` into a concrete [`RequestSpec`] schedule: for every request, the
+//!   model to hit, a case draw, and the *intended* send time. The schedule
+//!   is a pure function of its inputs — two calls with the same arguments
+//!   are `==`, bit for bit — so any run can be replayed exactly from its
+//!   seed. The built-in [`StandardWorkload`] composes an [`Arrival`]
+//!   process (closed-loop, fixed-rate open-loop, bursty on/off, ramp) with
+//!   a [`Mix`] population (uniform, hot/cold skew, sequential).
+//! * **How it is driven** — the [`harness`](crate::harness) shards the
+//!   schedule across generator threads, each recording into its own
+//!   [`LatencyHistogram`](crate::LatencyHistogram), merged at report time.
+//!
+//! Open-loop latency is coordinated-omission-aware: it is measured from the
+//! request's *intended* send time, so queueing delay from a saturated
+//! engine is charged to the engine, never silently absorbed by a stalled
+//! generator. The harness's backlog policy (shed when too far behind
+//! schedule) and its shed counters live in [`crate::harness::RunConfig`].
+
+use std::time::Duration;
+
+use ucnn_model::rng::SmallRng;
+
+/// One scheduled request: what to send, where, and when.
+///
+/// `model` is an index into the harness's model set; `case_draw` is a raw
+/// 64-bit draw the harness reduces modulo that model's case count (keeping
+/// the schedule independent of how many verified cases each model ships).
+/// `offset` is the intended send time relative to run start — `None` means
+/// closed-loop (send as soon as the previous response returns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Global sequence number within the schedule.
+    pub index: u64,
+    /// Model index into the harness's model set.
+    pub model: usize,
+    /// Raw case draw; the harness reduces it modulo the model's case count.
+    pub case_draw: u64,
+    /// Intended send offset from run start; `None` = closed-loop.
+    pub offset: Option<Duration>,
+}
+
+/// When requests are sent: the arrival process of a [`StandardWorkload`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// No schedule: each generator issues requests back to back, so offered
+    /// load adapts to service capacity (measures attainable throughput).
+    Closed,
+    /// Fixed-rate open loop: request `i` is *due* at `i / rate_hz` seconds,
+    /// regardless of completions — the way production traffic arrives.
+    Open {
+        /// Aggregate arrival rate across all generator shards.
+        rate_hz: f64,
+    },
+    /// On/off traffic: bursts of `burst` requests at `rate_hz`, separated
+    /// by `idle` gaps — the pattern that stresses dynamic batch formation
+    /// and queue sizing.
+    Bursty {
+        /// Within-burst arrival rate.
+        rate_hz: f64,
+        /// Requests per burst.
+        burst: usize,
+        /// Quiet gap between bursts.
+        idle: Duration,
+    },
+    /// Linear rate sweep from `start_hz` (request 0) to `end_hz` (last
+    /// request) — drives the engine through its saturation knee in one run.
+    Ramp {
+        /// Arrival rate at the first request.
+        start_hz: f64,
+        /// Arrival rate at the last request.
+        end_hz: f64,
+    },
+}
+
+impl Arrival {
+    /// Short name used in labels and CLI flags.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arrival::Closed => "closed",
+            Arrival::Open { .. } => "open",
+            Arrival::Bursty { .. } => "bursty",
+            Arrival::Ramp { .. } => "ramp",
+        }
+    }
+
+    /// Parses a CLI workload name into an arrival process, taking the rate
+    /// knob from `rate_hz`. Returns `None` for unknown names.
+    #[must_use]
+    pub fn parse(name: &str, rate_hz: f64) -> Option<Arrival> {
+        match name {
+            "closed" => Some(Arrival::Closed),
+            "open" => Some(Arrival::Open { rate_hz }),
+            "bursty" => Some(Arrival::Bursty {
+                rate_hz: rate_hz * 4.0,
+                burst: 16,
+                idle: Duration::from_secs_f64(16.0 / rate_hz),
+            }),
+            "ramp" => Some(Arrival::Ramp {
+                start_hz: rate_hz / 4.0,
+                end_hz: rate_hz * 2.0,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The intended send offset of request `index` out of `total`, or
+    /// `None` for closed-loop arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate knob is not finite-positive.
+    #[must_use]
+    pub fn offset(&self, index: u64, total: u64) -> Option<Duration> {
+        let positive = |r: f64| {
+            assert!(r.is_finite() && r > 0.0, "rate must be positive, got {r}");
+            r
+        };
+        match *self {
+            Arrival::Closed => None,
+            Arrival::Open { rate_hz } => {
+                Some(Duration::from_secs_f64(index as f64 / positive(rate_hz)))
+            }
+            Arrival::Bursty {
+                rate_hz,
+                burst,
+                idle,
+            } => {
+                assert!(burst > 0, "burst must be positive");
+                let rate = positive(rate_hz);
+                let cycle = index / burst as u64;
+                let within = index % burst as u64;
+                let cycle_len = burst as f64 / rate + idle.as_secs_f64();
+                Some(Duration::from_secs_f64(
+                    cycle as f64 * cycle_len + within as f64 / rate,
+                ))
+            }
+            Arrival::Ramp { start_hz, end_hz } => {
+                let (r0, r1) = (positive(start_hz), positive(end_hz));
+                // Sum of per-request gaps 1/r(i) with r(i) linear in the
+                // request index, in closed form via the harmonic integral:
+                // offset(i) = ∫₀ⁱ dx / r(x). Constant-rate ramps collapse
+                // to the open-loop formula.
+                let span = (total.saturating_sub(1)).max(1) as f64;
+                let slope = (r1 - r0) / span;
+                if slope.abs() < f64::EPSILON * r0 {
+                    Some(Duration::from_secs_f64(index as f64 / r0))
+                } else {
+                    let t = ((r0 + slope * index as f64) / r0).ln() / slope;
+                    Some(Duration::from_secs_f64(t))
+                }
+            }
+        }
+    }
+}
+
+/// Which model each request hits: the population distribution of a
+/// [`StandardWorkload`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mix {
+    /// Every model equally likely.
+    Uniform,
+    /// Skewed multi-model traffic: model 0 is *hot* and receives
+    /// `hot_share` of requests; the remaining share is uniform over the
+    /// cold models. With a single model everything is hot.
+    HotCold {
+        /// Fraction of traffic hitting model 0, in `[0, 1]`.
+        hot_share: f64,
+    },
+    /// Deterministic round-robin over the model set.
+    Sequential,
+}
+
+impl Mix {
+    /// Short name used in labels and CLI flags.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mix::Uniform => "uniform",
+            Mix::HotCold { .. } => "hotcold",
+            Mix::Sequential => "sequential",
+        }
+    }
+
+    /// Parses a CLI mix name. Returns `None` for unknown names.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Mix> {
+        match name {
+            "uniform" => Some(Mix::Uniform),
+            "hotcold" => Some(Mix::HotCold { hot_share: 0.8 }),
+            "sequential" => Some(Mix::Sequential),
+            _ => None,
+        }
+    }
+
+    /// Draws the model index for request `index` over `models` models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models == 0` or a `HotCold` share is outside `[0, 1]`.
+    #[must_use]
+    pub fn draw(&self, index: u64, models: usize, rng: &mut SmallRng) -> usize {
+        assert!(models > 0, "need at least one model");
+        match *self {
+            Mix::Uniform => (rng.next_u64() % models as u64) as usize,
+            Mix::HotCold { hot_share } => {
+                assert!(
+                    (0.0..=1.0).contains(&hot_share),
+                    "hot_share must be in [0, 1], got {hot_share}"
+                );
+                // Draw both streams unconditionally so the RNG consumption
+                // per request is fixed: the schedule of request i never
+                // depends on which branch earlier requests took.
+                let coin = rng.gen_f64();
+                let cold = rng.next_u64();
+                if models == 1 || coin < hot_share {
+                    0
+                } else {
+                    1 + (cold % (models as u64 - 1)) as usize
+                }
+            }
+            Mix::Sequential => (index % models as u64) as usize,
+        }
+    }
+}
+
+/// A request-stream generator: anything that can deterministically expand
+/// `(requests, models, seed)` into a schedule the harness executes.
+///
+/// Implementations **must** be pure: the returned schedule may depend only
+/// on the three arguments (no clocks, no global state), which is what makes
+/// every run seed-replayable. The regression suite enforces this for the
+/// built-ins by comparing two independently generated schedules.
+pub trait Workload: Sync {
+    /// Human-readable label for reports (e.g. `"open@500/hotcold"`).
+    fn label(&self) -> String;
+
+    /// Expands the full schedule: `requests` entries over `models` models,
+    /// fully determined by `seed`.
+    fn schedule(&self, requests: usize, models: usize, seed: u64) -> Vec<RequestSpec>;
+}
+
+/// The built-in workload: an [`Arrival`] process composed with a [`Mix`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StandardWorkload {
+    /// When requests are due.
+    pub arrival: Arrival,
+    /// Which model each request hits.
+    pub mix: Mix,
+}
+
+impl Workload for StandardWorkload {
+    fn label(&self) -> String {
+        let arrival = match self.arrival {
+            Arrival::Closed => "closed".to_string(),
+            Arrival::Open { rate_hz } => format!("open@{rate_hz:.0}"),
+            Arrival::Bursty { rate_hz, burst, .. } => format!("bursty@{rate_hz:.0}x{burst}"),
+            Arrival::Ramp { start_hz, end_hz } => format!("ramp@{start_hz:.0}-{end_hz:.0}"),
+        };
+        format!("{arrival}/{}", self.mix.name())
+    }
+
+    fn schedule(&self, requests: usize, models: usize, seed: u64) -> Vec<RequestSpec> {
+        assert!(models > 0, "need at least one model");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..requests as u64)
+            .map(|index| {
+                let model = self.mix.draw(index, models, &mut rng);
+                let case_draw = rng.next_u64();
+                RequestSpec {
+                    index,
+                    model,
+                    case_draw,
+                    offset: self.arrival.offset(index, requests as u64),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_bit_for_bit_per_seed() {
+        for wl in [
+            StandardWorkload {
+                arrival: Arrival::Closed,
+                mix: Mix::Sequential,
+            },
+            StandardWorkload {
+                arrival: Arrival::Open { rate_hz: 500.0 },
+                mix: Mix::Uniform,
+            },
+            StandardWorkload {
+                arrival: Arrival::Bursty {
+                    rate_hz: 800.0,
+                    burst: 16,
+                    idle: Duration::from_millis(20),
+                },
+                mix: Mix::HotCold { hot_share: 0.8 },
+            },
+            StandardWorkload {
+                arrival: Arrival::Ramp {
+                    start_hz: 100.0,
+                    end_hz: 1000.0,
+                },
+                mix: Mix::Uniform,
+            },
+        ] {
+            let a = wl.schedule(200, 3, 42);
+            let b = wl.schedule(200, 3, 42);
+            assert_eq!(a, b, "same seed must replay identically ({})", wl.label());
+            let c = wl.schedule(200, 3, 43);
+            assert_ne!(a, c, "different seed must differ ({})", wl.label());
+        }
+    }
+
+    #[test]
+    fn open_offsets_are_evenly_spaced() {
+        let wl = StandardWorkload {
+            arrival: Arrival::Open { rate_hz: 1000.0 },
+            mix: Mix::Sequential,
+        };
+        let sched = wl.schedule(10, 1, 1);
+        for (i, spec) in sched.iter().enumerate() {
+            let expect = Duration::from_micros(1000 * i as u64);
+            let got = spec.offset.expect("open loop has offsets");
+            let err = got.abs_diff(expect);
+            assert!(err < Duration::from_micros(1), "request {i}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn bursty_offsets_form_on_off_cycles() {
+        let wl = StandardWorkload {
+            arrival: Arrival::Bursty {
+                rate_hz: 1000.0,
+                burst: 4,
+                idle: Duration::from_millis(100),
+            },
+            mix: Mix::Sequential,
+        };
+        let sched = wl.schedule(8, 1, 1);
+        // Within a burst: 1 ms spacing. Across the gap: 100 ms idle.
+        let gap_within = sched[1].offset.unwrap() - sched[0].offset.unwrap();
+        let gap_across = sched[4].offset.unwrap() - sched[3].offset.unwrap();
+        assert!(gap_within < Duration::from_millis(2), "{gap_within:?}");
+        assert!(gap_across >= Duration::from_millis(100), "{gap_across:?}");
+    }
+
+    #[test]
+    fn ramp_offsets_are_monotone_and_accelerating() {
+        let wl = StandardWorkload {
+            arrival: Arrival::Ramp {
+                start_hz: 100.0,
+                end_hz: 1000.0,
+            },
+            mix: Mix::Sequential,
+        };
+        let sched = wl.schedule(50, 1, 1);
+        let offsets: Vec<Duration> = sched.iter().map(|s| s.offset.unwrap()).collect();
+        for pair in offsets.windows(2) {
+            assert!(pair[0] < pair[1], "offsets must be strictly increasing");
+        }
+        // Accelerating arrivals: the first gap is wider than the last.
+        let first_gap = offsets[1] - offsets[0];
+        let last_gap = offsets[49] - offsets[48];
+        assert!(first_gap > last_gap, "{first_gap:?} vs {last_gap:?}");
+        // A flat ramp degenerates to the open-loop schedule.
+        let flat = Arrival::Ramp {
+            start_hz: 500.0,
+            end_hz: 500.0,
+        };
+        let open = Arrival::Open { rate_hz: 500.0 };
+        for i in 0..20 {
+            let f = flat.offset(i, 20).unwrap();
+            let o = open.offset(i, 20).unwrap();
+            assert!(f.abs_diff(o) < Duration::from_micros(2), "request {i}");
+        }
+    }
+
+    #[test]
+    fn hot_cold_mix_skews_toward_model_zero() {
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::HotCold { hot_share: 0.8 },
+        };
+        let sched = wl.schedule(1000, 3, 7);
+        let hot = sched.iter().filter(|s| s.model == 0).count();
+        assert!(
+            (700..900).contains(&hot),
+            "hot share {hot}/1000 out of band"
+        );
+        assert!(
+            sched.iter().all(|s| s.model < 3),
+            "model index out of range"
+        );
+        // Cold traffic reaches every cold model.
+        for cold in 1..3 {
+            assert!(
+                sched.iter().any(|s| s.model == cold),
+                "model {cold} starved"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_mix_round_robins() {
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::Sequential,
+        };
+        let sched = wl.schedule(9, 3, 1);
+        let models: Vec<usize> = sched.iter().map(|s| s.model).collect();
+        assert_eq!(models, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert!(sched.iter().all(|s| s.offset.is_none()));
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for name in ["closed", "open", "bursty", "ramp"] {
+            let arrival = Arrival::parse(name, 100.0).expect(name);
+            assert_eq!(arrival.name(), name);
+        }
+        assert!(Arrival::parse("nope", 100.0).is_none());
+        for name in ["uniform", "hotcold", "sequential"] {
+            let mix = Mix::parse(name).expect(name);
+            assert_eq!(mix.name(), name);
+        }
+        assert!(Mix::parse("nope").is_none());
+    }
+}

@@ -1,17 +1,18 @@
-//! Serving stress test: compile the tiny network once, then hammer the
-//! batched inference engine with closed-loop and fixed-rate open-loop
-//! traffic, verifying every response bit for bit against the dense
-//! reference.
+//! Serving stress test: compile the tiny network once, then drive the
+//! batched inference engine through the workload zoo — deterministic,
+//! seed-replayable schedules executed by sharded generator threads — and
+//! verify every response bit for bit against the dense reference.
 //!
 //! ```sh
 //! cargo run --release --example serve_stress -- \
 //!     [--quick] [--workers N] [--rate HZ] [--batch N] [--threads N] \
-//!     [--backend NAME]
+//!     [--backend NAME] [--workload NAME] [--mix NAME] [--seed N] \
+//!     [--shards N] [--requests N]
 //! ```
 //!
-//! * `--quick` — small burst sizes (CI smoke configuration).
+//! * `--quick` — small request counts (CI smoke configuration).
 //! * `--workers N` — worker thread count (default 4).
-//! * `--rate HZ` — open-loop arrival rate (default 200).
+//! * `--rate HZ` — offered rate for scheduled arrivals (default 200).
 //! * `--batch N` — max requests per batched forward (default 8).
 //! * `--threads N` — scoped exec threads inside each batched forward
 //!   (default 1).
@@ -20,10 +21,19 @@
 //!   `batch-threads`). Every backend is bit-identical, so this only
 //!   changes performance — the CI backend matrix drives this flag across
 //!   all six.
+//! * `--workload NAME` — run one arrival process (`closed`, `open`,
+//!   `bursty`, `ramp`) instead of the default closed + open + bursty sweep.
+//! * `--mix NAME` — model mix (`uniform`, `hotcold`, `sequential`;
+//!   default sequential — one model here, so the mix only shapes draws).
+//! * `--seed N` — schedule seed; the same seed replays the identical
+//!   request stream (default 7).
+//! * `--shards N` — generator threads for scheduled workloads (default 2).
+//! * `--requests N` — total requests per run.
 //!
-//! Every dynamic batch a worker drains executes as one batch-major forward
-//! walking the retained streams once for the whole batch; the printed batch
-//! size distribution shows how large batches actually formed under load.
+//! This example is a thin front-end over `ucnn_serve::harness`: the same
+//! machinery behind `repro serve`, minus the multi-model zoo and JSON
+//! output. Open-loop latency is coordinated-omission-aware (charged from
+//! the intended send time; a full queue sheds instead of stalling).
 //!
 //! Exits non-zero if any response mismatches the dense reference or if a
 //! run completes zero requests.
@@ -34,7 +44,9 @@ use std::sync::Arc;
 use ucnn::core::backend::BackendKind;
 use ucnn::core::compile::UcnnConfig;
 use ucnn::model::{forward, networks, ActivationGen, QuantScheme};
-use ucnn::serve::{loadgen, Engine, EngineConfig, LoadReport, ModelRegistry};
+use ucnn::serve::harness::{self, Case, HarnessReport, ModelCases, RunConfig};
+use ucnn::serve::workload::{Arrival, Mix, StandardWorkload};
+use ucnn::serve::{Engine, EngineConfig, ModelRegistry};
 
 use ucnn_bench::cli::arg_value as arg_str;
 
@@ -42,15 +54,15 @@ fn arg_value(args: &[String], flag: &str) -> Option<usize> {
     arg_str(args, flag).and_then(|v| v.parse().ok())
 }
 
-fn print_report(report: &LoadReport) {
+fn print_report(report: &HarnessReport) {
     println!(
-        "  {:<28} {:>7} ok  {:>4} bad  {:>4} dropped  {:>9.0} req/s  \
+        "  {:<28} {:>7} ok  {:>4} bad  {:>4} shed  {:>9.0} req/s  \
          p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  \
          batch mean {:.2} max {}",
         report.label,
         report.completed,
         report.mismatches,
-        report.dropped,
+        report.shed(),
         report.throughput_rps(),
         report.percentile_us(0.50),
         report.percentile_us(0.95),
@@ -67,6 +79,11 @@ fn main() -> ExitCode {
     let rate = arg_value(&args, "--rate").unwrap_or(200) as f64;
     let max_batch = arg_value(&args, "--batch").unwrap_or(8);
     let exec_threads = arg_value(&args, "--threads").unwrap_or(1);
+    let seed = arg_str(&args, "--seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(7);
+    let shards = arg_value(&args, "--shards").unwrap_or(2);
+    let requests = arg_value(&args, "--requests").unwrap_or(if quick { 40 } else { 400 });
     let backend = match arg_str(&args, "--backend") {
         Some(name) => match name.parse::<BackendKind>() {
             Ok(kind) => kind,
@@ -77,7 +94,37 @@ fn main() -> ExitCode {
         },
         None => BackendKind::BatchThreads,
     };
-    let (clients, iters, open_requests) = if quick { (2, 10, 40) } else { (8, 50, 400) };
+    let mix_name = arg_str(&args, "--mix").map_or("sequential", String::as_str);
+    let Some(mix) = Mix::parse(mix_name) else {
+        eprintln!("unknown mix '{mix_name}'; choose uniform, hotcold, or sequential");
+        return ExitCode::FAILURE;
+    };
+
+    // The runs: one named workload, or the default closed + open + bursty
+    // sweep. Each entry is (arrival, shards) — closed loops use one shard
+    // per concurrent client.
+    let closed_shards = if quick { 2 } else { 8 };
+    let runs: Vec<(Arrival, usize)> = match arg_str(&args, "--workload") {
+        Some(name) => match Arrival::parse(name, rate) {
+            Some(arrival) => {
+                let s = if matches!(arrival, Arrival::Closed) {
+                    arg_value(&args, "--shards").unwrap_or(closed_shards)
+                } else {
+                    shards
+                };
+                vec![(arrival, s)]
+            }
+            None => {
+                eprintln!("unknown workload '{name}'; choose closed, open, bursty, or ramp");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => vec![
+            (Arrival::Closed, closed_shards),
+            (Arrival::parse("open", rate).unwrap(), shards),
+            (Arrival::parse("bursty", rate).unwrap(), shards),
+        ],
+    };
 
     // Compile once: the registry holds the immutable plan workers share.
     let net = networks::tiny();
@@ -93,17 +140,17 @@ fn main() -> ExitCode {
 
     // Precompute dense-reference outputs so every response is verifiable.
     let mut agen = ActivationGen::new(7);
-    let cases: Vec<loadgen::Case> = (0..8)
+    let cases: Vec<Case> = (0..8)
         .map(|_| {
             let input = agen.generate_for(&net.conv_layers()[0]);
             let expected = forward::dense_forward(&net, &weights, &input);
             (input, expected)
         })
         .collect();
-    let workload = loadgen::Workload {
-        model: "tiny",
-        cases: &cases,
-    };
+    let models = vec![ModelCases {
+        name: "tiny".to_string(),
+        cases,
+    }];
 
     let engine = Engine::start(
         Arc::clone(&registry),
@@ -117,13 +164,31 @@ fn main() -> ExitCode {
     );
     println!(
         "engine up: {workers} workers, max batch {max_batch}, \
-         {exec_threads} exec thread(s) per batch, '{backend}' backend\n"
+         {exec_threads} exec thread(s) per batch, '{backend}' backend, \
+         seed {seed}\n"
     );
 
-    let closed = loadgen::closed_loop(&engine, &workload, clients, iters);
-    print_report(&closed);
-    let open = loadgen::open_loop(&engine, &workload, rate, open_requests);
-    print_report(&open);
+    let mut bad = 0u64;
+    let mut zero_runs = 0u64;
+    for (arrival, run_shards) in runs {
+        let workload = StandardWorkload { arrival, mix };
+        let report = harness::run(
+            &engine,
+            &models,
+            &workload,
+            RunConfig {
+                requests,
+                shards: run_shards,
+                seed,
+                max_lag: None,
+            },
+        );
+        print_report(&report);
+        bad += report.mismatches + report.errors;
+        if report.completed == 0 {
+            zero_runs += 1;
+        }
+    }
 
     let stats = engine.shutdown();
     println!(
@@ -148,12 +213,11 @@ fn main() -> ExitCode {
         formed.join("  ")
     );
 
-    let bad = closed.mismatches + open.mismatches + closed.errors + open.errors;
     if bad > 0 {
         eprintln!("FAIL: {bad} mismatched or failed responses");
         return ExitCode::FAILURE;
     }
-    if closed.completed == 0 || open.completed == 0 {
+    if zero_runs > 0 {
         eprintln!("FAIL: a run completed zero requests");
         return ExitCode::FAILURE;
     }
