@@ -129,6 +129,9 @@ fn main() -> ExitCode {
             .into_iter()
             .cloned()
             .collect(),
+        // Observability artifacts (interval JSONL, Prometheus exposition,
+        // JSON metrics snapshot) ride along with the tables under --out.
+        metrics_dir: out_dir.clone(),
     };
 
     // Flag *values* are excluded by position, not by string value, so an

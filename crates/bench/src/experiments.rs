@@ -693,6 +693,11 @@ pub struct ServeOpts {
     pub mix: Option<String>,
     /// Zoo subset to serve (repeatable `--model`); empty = whole zoo.
     pub models: Vec<String>,
+    /// Directory the observability artifacts land in (`--out`):
+    /// `serve_intervals.jsonl` (per-run interval samples),
+    /// `serve_metrics.prom` (session Prometheus exposition), and
+    /// `serve_metrics.json` (session JSON snapshot). `None` writes nothing.
+    pub metrics_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOpts {
@@ -707,6 +712,7 @@ impl Default for ServeOpts {
             workload: None,
             mix: None,
             models: Vec::new(),
+            metrics_dir: None,
         }
     }
 }
@@ -728,14 +734,28 @@ const SERVE_ZOO: &[(&str, f64)] = &[("tiny", 0.9), ("tiny-b", 0.8), ("tiny-c", 0
 /// The default matrix pins the sharded-stats acceptance pair — the same
 /// closed workload at 1 and 8 generator shards — before sweeping the
 /// scheduled arrivals at an auto-calibrated sustainable rate.
+///
+/// Observability: every engine records into one session
+/// [`MetricsRegistry`](ucnn_serve::MetricsRegistry) (request-lifecycle
+/// phase histograms, queue/in-flight gauges, harness accounting counters);
+/// `ALL` rows carry the per-phase latency breakdown (queue wait vs batch
+/// form vs execute vs respond). The per-layer reuse counters run during
+/// the matrix and a dedicated six-backend × {B=1, B=8} sweep afterwards,
+/// emitted as a nested `reuse` section (multiplies issued /
+/// dense-equivalent per layer × backend × batch bucket). With
+/// [`ServeOpts::metrics_dir`] set, interval samples
+/// (`serve_intervals.jsonl`), the Prometheus exposition
+/// (`serve_metrics.prom`), and the JSON snapshot (`serve_metrics.json`)
+/// are written there.
 #[must_use]
 pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
     use std::sync::Arc;
     use std::time::Duration;
+    use ucnn_core::counters;
     use ucnn_model::forward;
     use ucnn_serve::harness::{self, ModelCases, RunConfig};
     use ucnn_serve::workload::{Arrival, Mix, StandardWorkload};
-    use ucnn_serve::{Engine, EngineConfig, ModelRegistry};
+    use ucnn_serve::{Engine, EngineConfig, MetricsRegistry, ModelRegistry};
 
     let zoo: Vec<(&str, f64)> = if opts.models.is_empty() {
         SERVE_ZOO.to_vec()
@@ -783,14 +803,19 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
         })
         .collect();
 
+    // One session-wide metrics registry: every engine of this invocation
+    // (calibration included) records into it, so the final exposition
+    // carries the whole session's lifecycle and accounting series.
+    let session_metrics = Arc::new(MetricsRegistry::new(2));
     let start_engine = || {
-        Engine::start(
+        Engine::start_with_metrics(
             Arc::clone(&registry),
             EngineConfig {
                 workers: 2,
                 backend: opts.backend,
                 ..EngineConfig::default()
             },
+            Arc::clone(&session_metrics),
         )
     };
 
@@ -812,6 +837,7 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 shards: 2,
                 seed: opts.seed,
                 max_lag: None,
+                interval: None,
             },
         );
         let _ = engine.shutdown();
@@ -882,8 +908,14 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
             "p999_us",
             "mean_batch",
             "max_batch",
+            "q_wait_us",
+            "form_us",
+            "exec_us",
+            "respond_us",
         ],
     );
+    // Interval sampler series per run, flattened into one JSONL stream.
+    let mut interval_log: Vec<String> = Vec::new();
     for (wname, mname, shards) in matrix {
         let arrival = Arrival::parse(&wname, rate).unwrap_or_else(|| {
             panic!("unknown workload '{wname}'; choose closed, open, bursty, or ramp")
@@ -904,6 +936,9 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 // Backlog policy: a generator more than 2 s behind schedule
                 // sheds instead of compressing the arrival process.
                 max_lag: Some(Duration::from_secs(2)),
+                // HDR-histogram-log style progress sampling, written to
+                // `serve_intervals.jsonl` when a metrics dir is set.
+                interval: Some(Duration::from_millis(if quick { 10 } else { 50 })),
             },
         );
         let stats = engine.shutdown();
@@ -911,7 +946,15 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
             report.mismatches, 0,
             "serving outputs diverged from the dense reference ({wname}/{mname})"
         );
+        for s in &report.intervals {
+            interval_log.push(format!(
+                "{{\"workload\": \"{wname}\", \"mix\": \"{mname}\", \"shards\": {shards}, \
+                 \"at_ms\": {}, \"queue_depth\": {}, \"served\": {}, \"batches\": {}}}",
+                s.at_ms, s.queue_depth, s.served, s.batches
+            ));
+        }
         let elapsed_s = report.elapsed.as_secs_f64().max(1e-9);
+        let phase_us = |stat: ucnn_serve::PhaseStat| f2(stat.mean_ns() / 1_000.0);
         t.push_row(vec![
             wname.clone(),
             mname.clone(),
@@ -929,6 +972,10 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
             f2(report.percentile_us(0.999)),
             f2(stats.mean_batch()),
             stats.max_batch().to_string(),
+            phase_us(stats.phases.queue_wait),
+            phase_us(stats.phases.batch_form),
+            phase_us(stats.phases.execute),
+            phase_us(stats.phases.respond),
         ]);
         for m in &report.per_model {
             let p_us = |q: f64| f2(m.latency.percentile(q) as f64 / 1_000.0);
@@ -949,7 +996,99 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 p_us(0.999),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
             ]);
+        }
+    }
+
+    // Dedicated reuse sweep: every registered backend × {B=1, B=8} over
+    // the zoo plans, driven directly (deterministic, engine-free) so the
+    // reuse-ratio table always covers all six backends regardless of which
+    // one served the matrix. The counter sink is process-global, so the
+    // enable→snapshot window is serialized against concurrent serve_load
+    // calls (the bench test binary runs them in parallel).
+    let snapshot = {
+        static SWEEP: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = SWEEP
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        counters::reset();
+        counters::set_enabled(true);
+        for kind in BackendKind::ALL {
+            for batch in [1usize, 8] {
+                for m in &models {
+                    let plan = registry.get(&m.name).expect("zoo model registered");
+                    let inputs: Vec<_> = (0..batch)
+                        .map(|i| m.cases[i % m.cases.len()].0.clone())
+                        .collect();
+                    let _ = plan.forward_batch_with(&inputs, kind, 1);
+                }
+            }
+        }
+        counters::set_enabled(false);
+        let rows = counters::snapshot();
+        counters::reset();
+        rows
+    };
+    let zoo_names: Vec<&str> = zoo.iter().map(|(name, _)| *name).collect();
+    let mut reuse = TableOut::new(
+        "Per-layer reuse: multiplies issued vs dense-equivalent, by backend and batch bucket",
+        &[
+            "model",
+            "layer",
+            "backend",
+            "batch_bucket",
+            "images",
+            "dense_mults",
+            "issued_mults",
+            "reuse_ratio",
+            "gather_entries",
+            "csr_segments",
+            "lowering_hits",
+            "lowering_misses",
+        ],
+    );
+    for row in snapshot {
+        if !zoo_names.contains(&row.net.as_str()) {
+            continue;
+        }
+        reuse.push_row(vec![
+            row.net.clone(),
+            row.layer.clone(),
+            row.backend.to_string(),
+            row.batch_bucket.to_string(),
+            row.work.images.to_string(),
+            row.work.dense_multiplies.to_string(),
+            row.work.multiplies_issued.to_string(),
+            f3(row.work.reuse_ratio()),
+            row.work.gather_entries.to_string(),
+            row.work.csr_segments.to_string(),
+            row.work.lowering_hits.to_string(),
+            row.work.lowering_misses.to_string(),
+        ]);
+    }
+    t.push_section(reuse);
+
+    if let Some(dir) = &opts.metrics_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let jsonl = interval_log.join("\n") + "\n";
+        if let Err(e) = std::fs::write(dir.join("serve_intervals.jsonl"), jsonl) {
+            eprintln!("warning: could not write serve_intervals.jsonl: {e}");
+        }
+        if let Err(e) = std::fs::write(
+            dir.join("serve_metrics.prom"),
+            session_metrics.render_prometheus(),
+        ) {
+            eprintln!("warning: could not write serve_metrics.prom: {e}");
+        }
+        if let Err(e) = std::fs::write(
+            dir.join("serve_metrics.json"),
+            session_metrics.snapshot_json(),
+        ) {
+            eprintln!("warning: could not write serve_metrics.json: {e}");
         }
     }
     t
@@ -1387,6 +1526,76 @@ mod tests {
             c.rows.iter().map(|r| r[4].clone()).collect::<Vec<_>>(),
             "different seed must change the per-model split"
         );
+    }
+
+    #[test]
+    fn serve_load_emits_phase_breakdown_reuse_section_and_metrics_files() {
+        let dir = std::env::temp_dir().join("ucnn_serve_metrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOpts {
+            workload: Some("closed".to_string()),
+            mix: Some("sequential".to_string()),
+            requests: Some(24),
+            metrics_dir: Some(dir.clone()),
+            ..ServeOpts::default()
+        };
+        let t = serve_load(true, &opts);
+        // Phase columns ride on ALL rows and parse as microseconds; the
+        // magnitudes are machine-dependent and not asserted.
+        let header_at = |name: &str| t.header.iter().position(|h| h == name).unwrap();
+        let all_row = &t.rows[0];
+        assert_eq!(all_row[3], "ALL");
+        for col in ["q_wait_us", "form_us", "exec_us", "respond_us"] {
+            let v: f64 = all_row[header_at(col)].parse().unwrap();
+            assert!(v >= 0.0, "{col} = {v}");
+        }
+        assert!(
+            all_row[header_at("exec_us")].parse::<f64>().unwrap() > 0.0,
+            "forwards take nonzero time"
+        );
+        // The reuse section covers every backend at both batch buckets for
+        // every zoo model, with the factorized walk never exceeding dense.
+        assert_eq!(t.sections.len(), 1);
+        let reuse = &t.sections[0];
+        for kind in BackendKind::ALL {
+            for bucket in ["1", "8"] {
+                let rows: Vec<_> = reuse
+                    .rows
+                    .iter()
+                    .filter(|r| r[2] == kind.name() && r[3] == bucket)
+                    .collect();
+                assert!(!rows.is_empty(), "no reuse rows for {kind} B={bucket}");
+                for row in rows {
+                    let dense: u64 = row[5].parse().unwrap();
+                    let issued: u64 = row[6].parse().unwrap();
+                    let ratio: f64 = row[7].parse().unwrap();
+                    assert!(issued > 0 && issued <= dense, "work bounds: {row:?}");
+                    assert!(ratio > 0.0 && ratio <= 1.0, "ratio bounds: {row:?}");
+                }
+            }
+        }
+        // CSR segments equal issued multiplies on flattened backends only.
+        for row in &reuse.rows {
+            let issued: u64 = row[6].parse().unwrap();
+            let csr: u64 = row[9].parse().unwrap();
+            if row[2].starts_with("flattened") {
+                assert_eq!(csr, issued, "CSR invariant: {row:?}");
+            } else {
+                assert_eq!(csr, 0, "stream walkers report no CSR: {row:?}");
+            }
+        }
+        // The observability artifacts landed in the metrics dir.
+        let prom = std::fs::read_to_string(dir.join("serve_metrics.prom")).unwrap();
+        assert!(prom.contains("# TYPE engine_execute_ns summary"));
+        assert!(prom.contains("harness_scheduled_total"));
+        let json = std::fs::read_to_string(dir.join("serve_metrics.json")).unwrap();
+        assert!(json.contains("\"histograms\""));
+        let jsonl = std::fs::read_to_string(dir.join("serve_intervals.jsonl")).unwrap();
+        assert!(jsonl.lines().count() >= 2, "interval samples present");
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub struct TableOut {
     pub header: Vec<String>,
     /// Data rows.
     pub rows: Vec<Vec<String>>,
+    /// Nested sub-tables (e.g. the per-layer reuse-ratio breakdown riding
+    /// under the serve table). Serialized under a `"sections"` key after
+    /// the rows; empty for most tables.
+    pub sections: Vec<TableOut>,
 }
 
 impl TableOut {
@@ -23,7 +27,13 @@ impl TableOut {
             title: title.into(),
             header: header.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
+            sections: Vec::new(),
         }
+    }
+
+    /// Appends a nested sub-table.
+    pub fn push_section(&mut self, section: TableOut) {
+        self.sections.push(section);
     }
 
     /// Appends one row (stringifies every cell).
@@ -46,12 +56,21 @@ impl TableOut {
     }
 
     /// Renders the table as a machine-readable JSON document: an object
-    /// with the `title` and one object per row keyed by the column names.
+    /// with the `title` and one object per row keyed by the column names,
+    /// plus a `"sections"` array of nested tables when any were pushed.
     /// Cells that are valid JSON number literals are emitted as numbers,
     /// everything else as strings — so perf-trajectory tooling can consume
     /// the measurements without re-parsing the pretty-printed table.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let mut s = self.json_object("");
+        s.push('\n');
+        s
+    }
+
+    /// The table as one JSON object, each line prefixed with `pad`
+    /// (sections indent recursively); no trailing newline.
+    fn json_object(&self, pad: &str) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);
             for ch in s.chars() {
@@ -117,9 +136,9 @@ impl TableOut {
             }
         }
         let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str(&format!("  \"title\": \"{}\",\n", esc(&self.title)));
-        s.push_str("  \"rows\": [\n");
+        s.push_str(&format!("{pad}{{\n"));
+        s.push_str(&format!("{pad}  \"title\": \"{}\",\n", esc(&self.title)));
+        s.push_str(&format!("{pad}  \"rows\": [\n"));
         for (ri, row) in self.rows.iter().enumerate() {
             let fields: Vec<String> = self
                 .header
@@ -128,9 +147,25 @@ impl TableOut {
                 .map(|(key, cell)| format!("\"{}\": {}", esc(key), cell_value(cell)))
                 .collect();
             let comma = if ri + 1 < self.rows.len() { "," } else { "" };
-            s.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+            s.push_str(&format!("{pad}    {{{}}}{comma}\n", fields.join(", ")));
         }
-        s.push_str("  ]\n}\n");
+        if self.sections.is_empty() {
+            s.push_str(&format!("{pad}  ]\n"));
+        } else {
+            s.push_str(&format!("{pad}  ],\n"));
+            s.push_str(&format!("{pad}  \"sections\": [\n"));
+            let inner = format!("{pad}    ");
+            for (si, section) in self.sections.iter().enumerate() {
+                s.push_str(&section.json_object(&inner));
+                s.push_str(if si + 1 < self.sections.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str(&format!("{pad}  ]\n"));
+        }
+        s.push_str(&format!("{pad}}}"));
         s
     }
 
@@ -172,6 +207,10 @@ impl fmt::Display for TableOut {
         writeln!(f)?;
         for row in &self.rows {
             line(f, row)?;
+        }
+        for section in &self.sections {
+            writeln!(f)?;
+            section.fmt(f)?;
         }
         Ok(())
     }
@@ -261,6 +300,25 @@ mod tests {
         t.write_json(&dir).unwrap();
         assert_eq!(std::fs::read_to_string(&dir).unwrap(), json);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn sections_nest_in_json_and_display() {
+        let mut t = TableOut::new("serve", &["workload", "req_per_s"]);
+        t.push_row(vec!["closed".into(), "1500.0".into()]);
+        let mut reuse = TableOut::new("reuse ratios", &["layer", "ratio"]);
+        reuse.push_row(vec!["conv1".into(), "0.42".into()]);
+        t.push_section(reuse);
+        let json = t.to_json();
+        assert!(json.contains("\"sections\": ["));
+        assert!(json.contains("\"title\": \"reuse ratios\""));
+        assert!(json.contains("\"ratio\": 0.42"));
+        let text = t.to_string();
+        assert!(text.contains("## serve"));
+        assert!(text.contains("## reuse ratios"));
+        // A sectionless table keeps its exact old shape (no "sections" key).
+        let plain = TableOut::new("p", &["a"]);
+        assert!(!plain.to_json().contains("sections"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use ucnn_tensor::{Tensor3, Tensor4};
 
+use crate::counters::LayerWork;
 use crate::exec::{factorized_conv, run_compiled, run_compiled_batch, run_compiled_batch_threads};
 use crate::flatten::{run_flattened_batch, run_flattened_batch_interleaved};
 use crate::plan::CompiledLayer;
@@ -147,6 +148,70 @@ pub trait Backend: Send + Sync {
     fn warm(&self, layer: &CompiledLayer) {
         let _ = layer;
     }
+
+    /// The work one `run_layer(layer, inputs, _)` call with `batch` inputs
+    /// performs, as reuse telemetry for
+    /// [`counters`](crate::counters): analytic counts derived from the
+    /// retained plan, **not** measured by instrumenting the inner loop — so
+    /// the accounting is O(tiles), bit-identical at every thread count, and
+    /// exactly equal across backends for the arithmetic fields (every
+    /// backend computes the same multiplies, only reordered).
+    ///
+    /// `lowering_was_ready` is whether the flattened lowering existed
+    /// before the call (captured by the caller); backends without derived
+    /// lowering state ignore it.
+    fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+        let _ = lowering_was_ready;
+        stream_walk_work(layer, batch)
+    }
+}
+
+/// The analytic per-call work of any stream-walking backend: every tile's
+/// stream is walked once per output position per image, issuing one
+/// multiply per non-zero activation-group closure and one gather per
+/// retained entry. The dense-equivalent count is pure geometry
+/// ([`ConvGeom::macs`](ucnn_tensor::ConvGeom::macs): `out_w · out_h · K ·
+/// R · S · C_group`, already whole-layer for grouped convolutions because
+/// `K` is total while `C` is per-group).
+fn stream_walk_work(layer: &CompiledLayer, batch: usize) -> LayerWork {
+    let out_positions = (layer.geom().out_w() * layer.geom().out_h()) as u64;
+    let b = batch as u64;
+    let mut multiplies = 0u64;
+    let mut entries = 0u64;
+    for tile in layer.tiles() {
+        multiplies += tile.stream().multiplies() as u64;
+        entries += tile.stream().entry_count() as u64;
+    }
+    LayerWork {
+        images: b,
+        dense_multiplies: layer.geom().macs() as u64 * b,
+        multiplies_issued: multiplies * out_positions * b,
+        gather_entries: entries * out_positions * b,
+        csr_segments: 0,
+        lowering_hits: 0,
+        lowering_misses: 0,
+    }
+}
+
+/// [`stream_walk_work`] plus the flattened-only fields: CSR segments walked
+/// (one multiply each per output position — the lowering invariant pinned
+/// by `segment_counts_match_stream_multiplies`) and whether this call hit
+/// the cached lowering or had to build it.
+fn flattened_work(layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+    let mut work = stream_walk_work(layer, batch);
+    let out_positions = (layer.geom().out_w() * layer.geom().out_h()) as u64;
+    let segments: u64 = layer
+        .flat_tiles()
+        .iter()
+        .map(|t| t.segment_count() as u64)
+        .sum();
+    work.csr_segments = segments * out_positions * batch as u64;
+    if lowering_was_ready {
+        work.lowering_hits = 1;
+    } else {
+        work.lowering_misses = 1;
+    }
+    work
 }
 
 struct FactorizedBackend;
@@ -253,6 +318,10 @@ impl Backend for FlattenedBackend {
     fn warm(&self, layer: &CompiledLayer) {
         let _ = layer.flat_tiles();
     }
+
+    fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+        flattened_work(layer, batch, lowering_was_ready)
+    }
 }
 
 struct FlattenedBatchBackend;
@@ -273,6 +342,10 @@ impl Backend for FlattenedBatchBackend {
 
     fn warm(&self, layer: &CompiledLayer) {
         let _ = layer.flat_tiles();
+    }
+
+    fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+        flattened_work(layer, batch, lowering_was_ready)
     }
 }
 

@@ -40,6 +40,10 @@
 //! * [`backend`](mod@backend) — pluggable executor backends: one [`Backend`] trait over
 //!   six interchangeable, bit-identical inner-loop shapes, selected by
 //!   [`BackendKind`] end to end from the serving engine down.
+//! * [`counters`] — the per-layer reuse-telemetry sink: an opt-in,
+//!   thread-sharded [`LayerWork`] tally (multiplies issued vs
+//!   dense-equivalent, gather entries, CSR segments, lowering-cache hits)
+//!   every backend reports into per `run_layer` call.
 //! * [`flatten`] — the compile-time lowering behind
 //!   [`BackendKind::Flattened`] (branch-free gather offsets and CSR-style
 //!   activation-group ranges) and the batch-interleaved SIMD executor
@@ -69,6 +73,7 @@
 pub mod backend;
 pub mod bitstream;
 pub mod compile;
+pub mod counters;
 pub mod encoding;
 pub mod exec;
 pub mod factorize;
@@ -79,6 +84,7 @@ pub mod plan;
 
 pub use backend::{all_backends, backend, Backend, BackendKind};
 pub use compile::{LayerPlan, TileStats, UcnnConfig};
+pub use counters::{LayerWork, TallyRow};
 pub use factorize::{ActivationGroup, FilterFactorization};
 pub use flatten::{FlattenedScratch, FlattenedTile};
 pub use hierarchy::{GroupStream, StreamEntry};

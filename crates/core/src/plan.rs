@@ -553,14 +553,30 @@ impl CompiledNetwork {
         let mut acts: Vec<Tensor3<i16>> = inputs.to_vec();
         for (si, stage) in self.stages.iter().enumerate() {
             match stage {
-                CompiledStage::Conv { layer, is_fc, .. } => {
+                CompiledStage::Conv { name, layer, is_fc } => {
                     if *is_fc {
                         acts = acts
                             .into_iter()
                             .map(|a| ucnn_model::forward::flatten_for_fc(a, layer.geom().c()))
                             .collect();
                     }
+                    // Reuse telemetry: one gated load on the hot path; when
+                    // enabled, the analytic per-call work is recorded after
+                    // execution (so the flattened lowering, if this call
+                    // built it, is available to account CSR segments) with
+                    // the lowering-cache state captured before.
+                    let counting = crate::counters::enabled();
+                    let lowering_was_ready = counting && layer.flat_ready();
                     let outs = exec.run_layer(layer, &acts, threads);
+                    if counting {
+                        crate::counters::record(
+                            &self.name,
+                            name,
+                            exec.name(),
+                            acts.len(),
+                            &exec.work(layer, acts.len(), lowering_was_ready),
+                        );
+                    }
                     if si == last {
                         return outs;
                     }

@@ -1,0 +1,191 @@
+//! Reuse-counter properties: the `counters` sink's dense-equivalent
+//! multiply counts must match an independent calculation from layer
+//! geometry for **every** registered backend, totals must be bit-identical
+//! across thread counts (the analytic-accounting contract), and the
+//! flattened lowering cache must tally exactly one miss then hits.
+//!
+//! The sink is process-global, so every test records under network names
+//! unique to this file, filters snapshots down to them, and serializes
+//! enable/disable windows behind one mutex.
+
+use std::sync::Mutex;
+
+use ucnn_core::backend::BackendKind;
+use ucnn_core::compile::UcnnConfig;
+use ucnn_core::counters::{self, TallyRow};
+use ucnn_core::plan::CompiledNetwork;
+use ucnn_model::{forward, networks, ActivationGen, NetworkSpec, QuantScheme};
+use ucnn_tensor::Tensor3;
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn rows_for(net: &str) -> Vec<TallyRow> {
+    counters::snapshot()
+        .into_iter()
+        .filter(|r| r.net == net)
+        .collect()
+}
+
+/// Compiles the tiny topology under `name` and returns the plan plus a few
+/// valid inputs.
+fn compiled(name: &str, seed: u64) -> (CompiledNetwork, Vec<Tensor3<i16>>) {
+    let tiny = networks::tiny();
+    let mut spec = NetworkSpec::new(name);
+    for layer in tiny.layers() {
+        spec.push(layer.clone());
+    }
+    let weights = forward::generate_network_weights(&spec, QuantScheme::inq(), seed, 0.85);
+    let plan = CompiledNetwork::compile(&spec, &weights, &UcnnConfig::with_g(2));
+    let mut agen = ActivationGen::new(seed ^ 0x7);
+    let inputs: Vec<_> = (0..8)
+        .map(|_| agen.generate_for(&spec.conv_layers()[0]))
+        .collect();
+    (plan, inputs)
+}
+
+/// Property: for every backend and batch size, the recorded
+/// dense-equivalent multiplies equal `out_w · out_h · K · R · S · C_group`
+/// per image, computed here independently from the layer geometry — and the
+/// reuse ratio is in (0, 1] with multiplies actually issued.
+#[test]
+fn dense_equivalent_matches_geometry_for_every_backend() {
+    let net = "counters-prop";
+    let (plan, inputs) = compiled(net, 0x71);
+    // Independent calculation straight from the spec's conv stages.
+    let expected_per_image: Vec<(String, u64)> = plan
+        .stages()
+        .iter()
+        .filter_map(|s| match s {
+            ucnn_core::plan::CompiledStage::Conv { name, layer, .. } => {
+                let g = layer.geom();
+                let macs = g.out_w() * g.out_h() * g.k() * g.r() * g.s() * g.c();
+                Some((name.clone(), macs as u64))
+            }
+            ucnn_core::plan::CompiledStage::Pool { .. } => None,
+        })
+        .collect();
+    assert!(!expected_per_image.is_empty());
+
+    let _guard = serialize();
+    for kind in BackendKind::ALL {
+        for batch in [1usize, 3, 8] {
+            counters::reset();
+            counters::set_enabled(true);
+            let _ = plan.forward_batch_with(&inputs[..batch], kind, 2);
+            counters::set_enabled(false);
+            let rows = rows_for(net);
+            assert_eq!(
+                rows.len(),
+                expected_per_image.len(),
+                "one row per conv stage ({kind}, B={batch})"
+            );
+            for row in &rows {
+                let (_, macs) = expected_per_image
+                    .iter()
+                    .find(|(name, _)| *name == row.layer)
+                    .unwrap_or_else(|| panic!("unexpected layer '{}'", row.layer));
+                assert_eq!(row.backend, kind.name());
+                assert_eq!(row.batch_bucket, counters::batch_bucket(batch));
+                assert_eq!(row.work.images, batch as u64);
+                assert_eq!(
+                    row.work.dense_multiplies,
+                    macs * batch as u64,
+                    "dense-equivalent diverged from geometry ({kind}, B={batch}, {})",
+                    row.layer
+                );
+                assert!(row.work.multiplies_issued > 0, "{kind} issued nothing");
+                assert!(
+                    row.work.multiplies_issued <= row.work.dense_multiplies,
+                    "factorized walk must never issue more than dense ({kind})"
+                );
+                assert!(row.work.gather_entries > 0);
+            }
+        }
+    }
+}
+
+/// The arithmetic fields are identical across backends (same multiplies,
+/// only reordered) and across thread counts (analytic accounting, not
+/// scheduling-dependent instrumentation).
+#[test]
+fn tallies_are_bit_identical_across_backends_and_thread_counts() {
+    let net = "counters-threads";
+    let (plan, inputs) = compiled(net, 0x72);
+    let _guard = serialize();
+    let mut baseline: Option<Vec<TallyRow>> = None;
+    for threads in [1usize, 2, 4] {
+        counters::reset();
+        counters::set_enabled(true);
+        let _ = plan.forward_batch_with(&inputs, BackendKind::BatchThreads, threads);
+        counters::set_enabled(false);
+        let rows = rows_for(net);
+        match &baseline {
+            None => baseline = Some(rows),
+            Some(expected) => assert_eq!(
+                &rows, expected,
+                "tally diverged at {threads} threads — accounting must be analytic"
+            ),
+        }
+    }
+    // Across backends: arithmetic fields agree exactly (backend name and
+    // flattened-only fields may differ).
+    let mut arithmetic: Option<Vec<(String, u64, u64, u64)>> = None;
+    for kind in BackendKind::ALL {
+        counters::reset();
+        counters::set_enabled(true);
+        let _ = plan.forward_batch_with(&inputs[..4], kind, 1);
+        counters::set_enabled(false);
+        let rows: Vec<(String, u64, u64, u64)> = rows_for(net)
+            .into_iter()
+            .map(|r| {
+                (
+                    r.layer,
+                    r.work.dense_multiplies,
+                    r.work.multiplies_issued,
+                    r.work.gather_entries,
+                )
+            })
+            .collect();
+        match &arithmetic {
+            None => arithmetic = Some(rows),
+            Some(expected) => assert_eq!(&rows, expected, "backend {kind} issues different work"),
+        }
+    }
+}
+
+/// Flattened backends account CSR segments (equal to multiplies by the
+/// lowering invariant) and the lowering cache: first execution is a miss,
+/// repeats are hits; stream-walking backends report neither.
+#[test]
+fn flattened_csr_and_lowering_cache_accounting() {
+    let net = "counters-flat";
+    let (plan, inputs) = compiled(net, 0x73);
+    let _guard = serialize();
+    counters::reset();
+    counters::set_enabled(true);
+    let _ = plan.forward_batch_with(&inputs[..2], BackendKind::Flattened, 1);
+    let _ = plan.forward_batch_with(&inputs[..2], BackendKind::Flattened, 1);
+    let _ = plan.forward_batch_with(&inputs[..2], BackendKind::Compiled, 1);
+    counters::set_enabled(false);
+    for row in rows_for(net) {
+        match row.backend {
+            "flattened" => {
+                assert_eq!(
+                    row.work.csr_segments, row.work.multiplies_issued,
+                    "one multiply per CSR segment per output position"
+                );
+                assert_eq!(row.work.lowering_misses, 1, "first execution lowers");
+                assert_eq!(row.work.lowering_hits, 1, "second execution hits");
+            }
+            "compiled" => {
+                assert_eq!(row.work.csr_segments, 0);
+                assert_eq!(row.work.lowering_hits + row.work.lowering_misses, 0);
+            }
+            other => panic!("unexpected backend '{other}'"),
+        }
+    }
+}

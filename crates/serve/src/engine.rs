@@ -34,6 +34,7 @@ use ucnn_core::backend::BackendKind;
 use ucnn_core::plan::CompiledNetwork;
 use ucnn_tensor::Tensor3;
 
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::queue::{BoundedQueue, TryPushError};
 use crate::registry::ModelRegistry;
 
@@ -106,8 +107,14 @@ impl std::error::Error for ServeError {}
 pub struct ServeResponse {
     /// The network output (bit-identical to the dense reference).
     pub output: Tensor3<i32>,
-    /// Time spent queued before a worker picked the request up.
+    /// Time spent queued before a worker picked the request up — the full
+    /// enqueue → execute-start span (queue wait plus batch formation).
     pub queue_ns: u64,
+    /// The batch-formation slice of [`ServeResponse::queue_ns`]: drain →
+    /// execute-start (grouping the drained requests by model/backend and
+    /// assembling batch-major inputs), shared by every request of the
+    /// batch. Pure queue wait is `queue_ns - batch_form_ns`.
+    pub batch_form_ns: u64,
     /// Time the worker spent executing the batched forward this request
     /// rode in (shared by every request of the batch).
     pub service_ns: u64,
@@ -172,6 +179,53 @@ impl Counters {
     }
 }
 
+/// Aggregate of one request-lifecycle phase across every request served:
+/// observation count, total nanoseconds, and the worst single observation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Observations recorded (one per request for every phase).
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub total_ns: u64,
+    /// Largest single observation, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean nanoseconds per observation (0.0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-phase latency breakdown of the request lifecycle, stamped by the
+/// workers at the four phase boundaries:
+///
+/// ```text
+/// enqueue ──queue_wait──▶ drain ──batch_form──▶ execute ──▶ respond
+/// ```
+///
+/// Every phase counts once per request (batch-shared phases record the
+/// batch's value for each rider), so the four counts are equal and each
+/// phase's `total_ns / count` is directly a per-request mean.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Enqueue → worker drain (time spent waiting in the bounded queue).
+    pub queue_wait: PhaseStat,
+    /// Drain → execute start (grouping by model/backend, assembling the
+    /// batch-major inputs).
+    pub batch_form: PhaseStat,
+    /// The batched forward itself.
+    pub execute: PhaseStat,
+    /// Execute end → all of the batch's responses handed to their channels.
+    pub respond: PhaseStat,
+}
+
 /// Aggregate engine counters returned by [`Engine::shutdown`].
 ///
 /// Besides the request/batch totals, the full per-batch size distribution
@@ -188,6 +242,9 @@ pub struct EngineStats {
     /// `batch_size_counts[s]` = number of batched forwards that served
     /// exactly `s` requests. Index 0 is unused.
     pub batch_size_counts: Vec<u64>,
+    /// Per-phase latency breakdown (queue wait vs batch formation vs
+    /// execution vs response delivery).
+    pub phases: PhaseBreakdown,
 }
 
 impl EngineStats {
@@ -263,6 +320,54 @@ pub struct Engine {
     counters: Arc<Counters>,
     workers: Vec<JoinHandle<()>>,
     backend: BackendKind,
+    metrics: Arc<MetricsRegistry>,
+    handles: EngineMetrics,
+}
+
+/// The engine's resolved handles into its [`MetricsRegistry`] — looked up
+/// once at start so the worker hot path records through `Arc`s without
+/// touching the registry's name maps.
+#[derive(Clone)]
+struct EngineMetrics {
+    requests: Arc<Counter>,
+    batches: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    batch_form: Arc<Histogram>,
+    execute: Arc<Histogram>,
+    respond: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn resolve(metrics: &MetricsRegistry) -> Self {
+        Self {
+            requests: metrics.counter("engine_requests_total"),
+            batches: metrics.counter("engine_batches_total"),
+            queue_wait: metrics.histogram("engine_queue_wait_ns"),
+            batch_form: metrics.histogram("engine_batch_form_ns"),
+            execute: metrics.histogram("engine_execute_ns"),
+            respond: metrics.histogram("engine_respond_ns"),
+            queue_depth: metrics.gauge("engine_queue_depth"),
+            in_flight: metrics.gauge("engine_in_flight"),
+        }
+    }
+
+    fn phases(&self) -> PhaseBreakdown {
+        fn stat(h: &Histogram) -> PhaseStat {
+            PhaseStat {
+                count: h.count(),
+                total_ns: h.sum_ns(),
+                max_ns: h.max_ns(),
+            }
+        }
+        PhaseBreakdown {
+            queue_wait: stat(&self.queue_wait),
+            batch_form: stat(&self.batch_form),
+            execute: stat(&self.execute),
+            respond: stat(&self.respond),
+        }
+    }
 }
 
 impl Engine {
@@ -274,6 +379,25 @@ impl Engine {
     /// the queue itself).
     #[must_use]
     pub fn start(registry: Arc<ModelRegistry>, config: EngineConfig) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new(config.workers.max(1)));
+        Self::start_with_metrics(registry, config, metrics)
+    }
+
+    /// Like [`Engine::start`], but records into a caller-owned
+    /// [`MetricsRegistry`] — so a harness or server front-end can merge
+    /// engine lifecycle metrics with its own (e.g. scheduled/shed totals)
+    /// and export one exposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` (queue/batch sizing is validated by
+    /// the queue itself).
+    #[must_use]
+    pub fn start_with_metrics(
+        registry: Arc<ModelRegistry>,
+        config: EngineConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.exec_threads > 0, "need at least one exec thread");
         assert!(config.max_batch > 0, "need a positive max batch");
@@ -295,15 +419,19 @@ impl Engine {
         }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let counters = Arc::new(Counters::new(config.max_batch));
+        let handles = EngineMetrics::resolve(&metrics);
         let workers = (0..config.workers)
             .map(|worker| {
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
+                let handles = handles.clone();
                 let max_batch = config.max_batch;
                 let exec_threads = config.exec_threads;
                 std::thread::Builder::new()
                     .name(format!("ucnn-serve-{worker}"))
-                    .spawn(move || worker_loop(worker, &queue, &counters, max_batch, exec_threads))
+                    .spawn(move || {
+                        worker_loop(worker, &queue, &counters, &handles, max_batch, exec_threads);
+                    })
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -313,7 +441,18 @@ impl Engine {
             counters,
             workers,
             backend: config.backend,
+            metrics,
+            handles,
         }
+    }
+
+    /// The metrics registry this engine records into. Callers may register
+    /// their own metrics alongside the engine's and export everything as
+    /// one snapshot ([`MetricsRegistry::render_prometheus`] /
+    /// [`MetricsRegistry::snapshot_json`]).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The registry this engine serves from.
@@ -447,6 +586,7 @@ impl Engine {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            phases: self.handles.phases(),
         }
     }
 
@@ -470,16 +610,7 @@ impl Engine {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        EngineStats {
-            served: self.counters.served.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            batch_size_counts: self
-                .counters
-                .batch_sizes
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-        }
+        self.stats()
     }
 }
 
@@ -495,10 +626,18 @@ fn worker_loop(
     worker: usize,
     queue: &BoundedQueue<Request>,
     counters: &Counters,
+    metrics: &EngineMetrics,
     max_batch: usize,
     exec_threads: usize,
 ) {
     while let Some(batch) = queue.pop_batch(max_batch) {
+        // Lifecycle stamp: the drain ends every rider's queue-wait phase.
+        // Depth and in-flight gauges are sampled on every drain so load is
+        // observable while a run is in progress.
+        let drained_at = Instant::now();
+        let drained = batch.len();
+        metrics.queue_depth.set(queue.len() as i64);
+        metrics.in_flight.add(drained as i64);
         // Group the drained requests by (model, backend) — FIFO order
         // preserved within a group — so each group runs as ONE batch-major
         // forward through one executor.
@@ -519,6 +658,8 @@ fn worker_loop(
         for (model, backend, requests) in groups {
             let batch_size = requests.len();
             counters.record_batch(batch_size);
+            metrics.batches.inc(worker);
+            metrics.requests.add(worker, batch_size as u64);
             let mut inputs = Vec::with_capacity(batch_size);
             let mut receipts = Vec::with_capacity(batch_size);
             for req in requests {
@@ -526,21 +667,37 @@ fn worker_loop(
                 receipts.push((req.tx, req.enqueued_at));
             }
             let start = Instant::now();
+            // Batch-shared phases record once per rider, keeping every
+            // phase's count equal to requests served.
+            let batch_form_ns = ns(start.duration_since(drained_at));
+            for (_, enqueued_at) in &receipts {
+                metrics
+                    .queue_wait
+                    .record(ns(drained_at.duration_since(*enqueued_at)));
+                metrics.batch_form.record(batch_form_ns);
+            }
             let outputs = model.forward_batch_with(&inputs, backend, exec_threads);
             let completed_at = Instant::now();
             let service_ns = ns(completed_at.duration_since(start));
             for ((tx, enqueued_at), output) in receipts.into_iter().zip(outputs) {
+                metrics.execute.record(service_ns);
                 // A dropped receiver (client gave up) is not an error.
                 let _ = tx.send(ServeResponse {
                     output,
                     queue_ns: ns(start.duration_since(enqueued_at)),
+                    batch_form_ns,
                     service_ns,
                     batch_size,
                     worker,
                     completed_at,
                 });
             }
+            let respond_ns = ns(Instant::now().duration_since(completed_at));
+            for _ in 0..batch_size {
+                metrics.respond.record(respond_ns);
+            }
         }
+        metrics.in_flight.add(-(drained as i64));
     }
 }
 
@@ -633,6 +790,67 @@ mod tests {
         assert!(stats.batch_percentile(0.5) <= stats.batch_percentile(1.0));
         assert_eq!(stats.batch_percentile(1.0), stats.max_batch());
         assert!((stats.mean_batch() - weighted as f64 / total as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_every_request() {
+        let (engine, cases) = tiny_engine(2);
+        let pendings: Vec<_> = (0..10)
+            .map(|i| {
+                let (input, _) = &cases[i % cases.len()];
+                engine.submit("tiny", input.clone()).unwrap()
+            })
+            .collect();
+        for pending in pendings {
+            let resp = pending.wait().unwrap();
+            // batch_form is a slice of the enqueue → execute-start span.
+            assert!(resp.batch_form_ns <= resp.queue_ns);
+        }
+        let metrics = Arc::clone(engine.metrics());
+        let stats = engine.shutdown();
+        let phases = stats.phases;
+        // Every phase counts once per request served.
+        for (name, stat) in [
+            ("queue_wait", phases.queue_wait),
+            ("batch_form", phases.batch_form),
+            ("execute", phases.execute),
+            ("respond", phases.respond),
+        ] {
+            assert_eq!(stat.count, stats.served, "{name} must count per request");
+            assert!(stat.max_ns as f64 >= stat.mean_ns(), "{name} max < mean");
+        }
+        assert!(phases.execute.total_ns > 0, "forwards take nonzero time");
+        // The registry exposes the same lifecycle series by name, and the
+        // in-flight gauge is balanced once the workers are drained.
+        assert_eq!(metrics.counter("engine_requests_total").get(), stats.served);
+        assert_eq!(metrics.counter("engine_batches_total").get(), stats.batches);
+        assert_eq!(metrics.gauge("engine_in_flight").get(), 0);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("# TYPE engine_execute_ns summary"));
+        assert!(text.contains("engine_queue_wait_ns_count 10"));
+    }
+
+    #[test]
+    fn engines_can_share_one_metrics_registry() {
+        let shared = Arc::new(MetricsRegistry::new(2));
+        for _ in 0..2 {
+            let (engine, cases) = tiny_engine(1);
+            let registry = Arc::clone(engine.registry());
+            let _ = engine.shutdown();
+            let engine = Engine::start_with_metrics(
+                registry,
+                EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+                Arc::clone(&shared),
+            );
+            let resp = engine.submit("tiny", cases[0].0.clone()).unwrap();
+            let _ = resp.wait().unwrap();
+            let _ = engine.shutdown();
+        }
+        // Both engines recorded into the same series.
+        assert_eq!(shared.counter("engine_requests_total").get(), 2);
     }
 
     #[test]

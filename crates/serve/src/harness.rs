@@ -17,7 +17,18 @@
 //! instead of silently compressing the arrival process. Every scheduled
 //! request therefore lands in exactly one counter:
 //! `scheduled == completed + shed_queue + shed_lag + errors`.
+//!
+//! With [`RunConfig::interval`] set, a sampler thread rides along and
+//! snapshots engine progress (queue depth, served, batches) every interval
+//! into [`HarnessReport::intervals`] — the HDR-histogram-log-style
+//! interval series the bench runner writes out as JSONL. The run's final
+//! accounting is also pushed into the engine's [`MetricsRegistry`]
+//! (`harness_scheduled_total` and friends) so one exposition carries both
+//! the engine lifecycle and the load-side view.
+//!
+//! [`MetricsRegistry`]: crate::metrics::MetricsRegistry
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use ucnn_tensor::Tensor3;
@@ -51,6 +62,11 @@ pub struct RunConfig {
     /// [`HarnessReport::shed_lag`]) instead of sent late. `None` never
     /// sheds on lag.
     pub max_lag: Option<Duration>,
+    /// Progress-sampling period: `Some(d)` rides a sampler thread along
+    /// with the generators, snapshotting queue depth and served/batch
+    /// totals every `d` into [`HarnessReport::intervals`]. `None` (the
+    /// default) samples nothing.
+    pub interval: Option<Duration>,
 }
 
 impl Default for RunConfig {
@@ -60,8 +76,24 @@ impl Default for RunConfig {
             shards: 1,
             seed: 0,
             max_lag: None,
+            interval: None,
         }
     }
+}
+
+/// One progress snapshot taken by the interval sampler
+/// ([`RunConfig::interval`]). `served`/`batches` are engine-lifetime
+/// totals (monotone across samples); `queue_depth` is instantaneous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Milliseconds since the run started.
+    pub at_ms: u64,
+    /// Bounded-queue depth at the sample instant.
+    pub queue_depth: usize,
+    /// Engine-lifetime requests served as of the sample.
+    pub served: u64,
+    /// Engine-lifetime batched forwards as of the sample.
+    pub batches: u64,
 }
 
 /// Per-model slice of a [`HarnessReport`].
@@ -111,6 +143,9 @@ pub struct HarnessReport {
     pub batch_sizes: LatencyHistogram,
     /// Per-model breakdown, index-aligned with the harness's model set.
     pub per_model: Vec<ModelBreakdown>,
+    /// Interval sampler series (empty unless [`RunConfig::interval`] was
+    /// set): one sample at run start, one per interval, one at run end.
+    pub intervals: Vec<IntervalSample>,
 }
 
 impl HarnessReport {
@@ -251,7 +286,31 @@ pub fn run(
     );
 
     let started = Instant::now();
-    let tallies: Vec<ShardTally> = std::thread::scope(|scope| {
+    let done = AtomicBool::new(false);
+    let (tallies, elapsed, intervals) = std::thread::scope(|scope| {
+        let done = &done;
+        // The sampler rides along with the generators: one snapshot at
+        // start, one per interval, and a final one after the last shard
+        // joins (so even runs shorter than the interval get a series).
+        let sampler = cfg.interval.map(|every| {
+            scope.spawn(move || {
+                let mut samples = Vec::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let stats = engine.stats();
+                    samples.push(IntervalSample {
+                        at_ms: started.elapsed().as_millis() as u64,
+                        queue_depth: engine.queue_depth(),
+                        served: stats.served,
+                        batches: stats.batches,
+                    });
+                    if finished {
+                        return samples;
+                    }
+                    std::thread::sleep(every);
+                }
+            })
+        });
         let handles: Vec<_> = (0..cfg.shards)
             .map(|shard| {
                 let schedule = &schedule;
@@ -261,9 +320,14 @@ pub fn run(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let tallies: Vec<ShardTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Stamp elapsed before joining the sampler, which may sleep up to
+        // one more interval — that tail must not dilute throughput.
+        let elapsed = started.elapsed();
+        done.store(true, Ordering::Release);
+        let intervals = sampler.map_or_else(Vec::new, |h| h.join().unwrap());
+        (tallies, elapsed, intervals)
     });
-    let elapsed = started.elapsed();
 
     let mut report = HarnessReport {
         label: format!("{} x{} shards", workload.label(), cfg.shards),
@@ -289,6 +353,7 @@ pub fn run(
                 latency: LatencyHistogram::new(),
             })
             .collect(),
+        intervals,
     };
     for tally in &tallies {
         report.latency.merge(&tally.latency);
@@ -312,6 +377,20 @@ pub fn run(
         report.completed + report.shed_queue + report.shed_lag + report.errors,
         "every scheduled request must land in exactly one counter"
     );
+    // Mirror the run's accounting into the engine's metrics registry, so
+    // one exposition reconciles the load side against the engine lifecycle
+    // counters (CI checks scheduled == completed + shed + errors there).
+    let metrics = engine.metrics();
+    metrics
+        .counter("harness_scheduled_total")
+        .add(0, report.scheduled);
+    metrics
+        .counter("harness_completed_total")
+        .add(0, report.completed);
+    metrics.counter("harness_shed_total").add(0, report.shed());
+    metrics
+        .counter("harness_errors_total")
+        .add(0, report.errors);
     report
 }
 
@@ -487,6 +566,7 @@ mod tests {
                 shards: 3,
                 seed: 1,
                 max_lag: None,
+                interval: None,
             },
         );
         assert_eq!(report.scheduled, 24);
@@ -531,6 +611,7 @@ mod tests {
                 shards: 2,
                 seed: 2,
                 max_lag: None,
+                interval: None,
             },
         );
         assert_eq!(
@@ -565,6 +646,7 @@ mod tests {
                 shards: 1,
                 seed: 3,
                 max_lag: Some(Duration::ZERO),
+                interval: None,
             },
         );
         assert_eq!(
@@ -593,6 +675,7 @@ mod tests {
                 shards: 2,
                 seed: 4,
                 max_lag: None,
+                interval: None,
             },
         );
         // Every request fails with ShuttingDown but none are lost.
@@ -600,5 +683,48 @@ mod tests {
         assert_eq!(report.completed, 0);
         let stats = engine.shutdown();
         assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn interval_sampler_rides_along_and_accounting_reaches_metrics() {
+        let (engine, models) = setup(1, EngineConfig::default());
+        let wl = StandardWorkload {
+            arrival: Arrival::Closed,
+            mix: Mix::Uniform,
+        };
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 16,
+                shards: 2,
+                seed: 5,
+                max_lag: None,
+                interval: Some(Duration::from_millis(1)),
+            },
+        );
+        assert!(
+            report.intervals.len() >= 2,
+            "at least the start and end samples"
+        );
+        let last = report.intervals.last().unwrap();
+        assert_eq!(last.served, 16, "final sample sees the whole run");
+        assert!(last.batches >= 1);
+        for pair in report.intervals.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms, "time is monotone");
+            assert!(pair[0].served <= pair[1].served, "served is monotone");
+        }
+        // The run's accounting is mirrored into the engine's registry and
+        // reconciles by construction.
+        let m = engine.metrics();
+        assert_eq!(m.counter("harness_scheduled_total").get(), 16);
+        assert_eq!(
+            m.counter("harness_scheduled_total").get(),
+            m.counter("harness_completed_total").get()
+                + m.counter("harness_shed_total").get()
+                + m.counter("harness_errors_total").get()
+        );
+        let _ = engine.shutdown();
     }
 }

@@ -62,7 +62,7 @@ fn value_of(idx: usize) -> u64 {
 /// let p50 = h.percentile(0.50) as f64 / 1_000.0;
 /// assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 = {p50} µs");
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -77,6 +77,18 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Number of buckets in the fixed layout (shared with the lock-free atomic
+/// histograms in [`crate::metrics`], which record into the same bucket
+/// space and snapshot into a [`LatencyHistogram`]).
+pub(crate) fn bucket_count() -> usize {
+    BUCKETS
+}
+
+/// The bucket a value records into (shared with [`crate::metrics`]).
+pub(crate) fn bucket_index(value_ns: u64) -> usize {
+    index_of(value_ns)
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     #[must_use]
@@ -87,6 +99,26 @@ impl LatencyHistogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw parts — the snapshot path of the
+    /// atomic histograms in [`crate::metrics`], which share this bucket
+    /// layout. Normalizes the empty case so the `min` sentinel never leaks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not [`bucket_count`] long or its entries do
+    /// not sum to `total`.
+    pub(crate) fn from_parts(counts: Vec<u64>, total: u64, sum: u128, min: u64, max: u64) -> Self {
+        assert_eq!(counts.len(), BUCKETS, "bucket layout mismatch");
+        assert_eq!(counts.iter().sum::<u64>(), total, "bucket counts vs total");
+        Self {
+            counts,
+            total,
+            sum,
+            min: if total == 0 { u64::MAX } else { min },
+            max,
         }
     }
 

@@ -29,6 +29,11 @@
 //!   bit-exact per-model verification.
 //! * [`loadgen`] — thin single-model closed/open-loop front-ends over the
 //!   harness, kept for quick smoke tests.
+//! * [`metrics`] — a typed [`MetricsRegistry`] (sharded counters, gauges,
+//!   lock-free histograms) every [`Engine`] owns, exported as Prometheus
+//!   text exposition or a JSON snapshot; the engine stamps request
+//!   lifecycle phases (queue wait → batch form → execute → respond) into
+//!   it, surfaced as [`PhaseBreakdown`] on [`EngineStats`].
 //!
 //! # Quickstart
 //!
@@ -62,7 +67,7 @@
 //!     &engine,
 //!     &models,
 //!     &wl,
-//!     RunConfig { requests: 6, shards: 2, seed: 7, max_lag: None },
+//!     RunConfig { requests: 6, shards: 2, seed: 7, max_lag: None, interval: None },
 //! );
 //! assert_eq!(report.completed, 6);
 //! assert_eq!(report.mismatches, 0);
@@ -76,13 +81,18 @@ pub mod engine;
 pub mod harness;
 pub mod histogram;
 pub mod loadgen;
+pub mod metrics;
 pub mod queue;
 pub mod registry;
 pub mod workload;
 
-pub use engine::{Engine, EngineConfig, EngineStats, Pending, ServeError, ServeResponse};
-pub use harness::{HarnessReport, ModelBreakdown, ModelCases, RunConfig};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, Pending, PhaseBreakdown, PhaseStat, ServeError,
+    ServeResponse,
+};
+pub use harness::{HarnessReport, IntervalSample, ModelBreakdown, ModelCases, RunConfig};
 pub use histogram::LatencyHistogram;
 pub use loadgen::LoadReport;
+pub use metrics::MetricsRegistry;
 pub use registry::ModelRegistry;
 pub use workload::{Arrival, Mix, RequestSpec, StandardWorkload, Workload};

@@ -135,6 +135,7 @@ pub fn closed_loop(
             shards: clients,
             seed: 0,
             max_lag: None,
+            interval: None,
         },
     );
     LoadReport::from_harness(format!("closed-loop x{clients} clients"), report)
@@ -175,6 +176,7 @@ pub fn open_loop(
             shards: 1,
             seed: 0,
             max_lag: None,
+            interval: None,
         },
     );
     LoadReport::from_harness(format!("open-loop @{rate_hz:.0} req/s"), report)

@@ -175,3 +175,52 @@ fn saturating_top_bucket_survives_merge() {
     assert_eq!(merged.percentile(1.0), u64::MAX);
     assert_eq!(merged.percentile(0.1), 10);
 }
+
+#[test]
+fn atomic_histogram_saturating_merge_across_shards() {
+    // The metrics registry's lock-free histogram shares the bucket layout:
+    // many threads hammering one atomic histogram — top (saturating)
+    // bucket included — must snapshot to the same buckets as recording the
+    // whole stream sequentially into a plain LatencyHistogram.
+    use ucnn_serve::MetricsRegistry;
+
+    let reg = MetricsRegistry::new(4);
+    let h = reg.histogram("merge_ns");
+    let per_shard: Vec<Vec<u64>> = (0..4)
+        .map(|s| {
+            (0..200)
+                .map(|i| match (s + i) % 5 {
+                    0 => u64::MAX - (i as u64 % 3),
+                    1 => 1 << (s * 8 + i % 8),
+                    _ => (s as u64 + 1) * 977 * (i as u64 + 1),
+                })
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for values in &per_shard {
+            let h = std::sync::Arc::clone(&h);
+            scope.spawn(move || {
+                for &v in values {
+                    h.record(v);
+                }
+            });
+        }
+    });
+    let mut plain = LatencyHistogram::new();
+    for v in per_shard.iter().flatten() {
+        plain.record(*v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 800);
+    assert_eq!(snap.max(), plain.max());
+    assert_eq!(snap.min(), plain.min());
+    assert_eq!(
+        snap.percentile(1.0),
+        u64::MAX,
+        "saturating bucket caps at max"
+    );
+    for q in QS {
+        assert_eq!(snap.percentile(q), plain.percentile(q), "q={q}");
+    }
+}

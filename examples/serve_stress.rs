@@ -181,6 +181,7 @@ fn main() -> ExitCode {
                 shards: run_shards,
                 seed,
                 max_lag: None,
+                interval: None,
             },
         );
         print_report(&report);

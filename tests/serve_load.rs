@@ -76,6 +76,7 @@ fn hot_cold_mixed_models_bit_exact_across_all_backends() {
                 shards: 3,
                 seed: 0x5EED,
                 max_lag: None,
+                interval: None,
             },
         );
         assert_eq!(report.completed, 30, "backend {backend}: lost requests");
@@ -127,6 +128,7 @@ fn bursty_arrivals_account_for_every_request() {
             shards: 2,
             seed: 0xB0B,
             max_lag: None,
+            interval: None,
         },
     );
     assert_eq!(
@@ -171,6 +173,7 @@ fn queue_full_overload_sheds_without_losing_requests() {
             shards: 2,
             seed: 0xFADE,
             max_lag: None,
+            interval: None,
         },
     );
     assert_eq!(report.completed + report.shed() + report.errors, 100);
@@ -217,6 +220,7 @@ fn shutdown_under_backpressure_keeps_accounting_exact() {
                 shards: 4,
                 seed: 0xD00D,
                 max_lag: None,
+                interval: None,
             },
         )
     });
@@ -280,6 +284,7 @@ fn same_seed_replays_identical_request_streams() {
                 shards: 2,
                 seed: 0xABBA,
                 max_lag: None,
+                interval: None,
             },
         );
         let _ = engine.shutdown();
@@ -296,4 +301,116 @@ fn same_seed_replays_identical_request_streams() {
         assert_eq!(a.scheduled, b.scheduled, "model {} split diverged", a.name);
         assert_eq!(a.completed, b.completed, "model {} diverged", a.name);
     }
+}
+
+/// The observability stack end to end: per-layer reuse counters, request
+/// lifecycle phases, interval samples, and the metrics exposition must all
+/// reconcile with the harness's own accounting — and enabling the reuse
+/// counters must not meaningfully change throughput (the counts are
+/// analytic per `run_layer` call, not hot-loop instrumentation; the
+/// measured cost is documented in EXPERIMENTS.md, and only a loose bound
+/// is asserted here because absolute speed is machine-dependent).
+#[test]
+fn metrics_and_reuse_counters_reconcile_with_harness_accounting() {
+    use ucnn::core::counters;
+
+    let registry = Arc::new(ModelRegistry::new());
+    let models = zoo(&registry, 2, 0x600);
+    let wl = StandardWorkload {
+        arrival: Arrival::Closed,
+        mix: Mix::Sequential,
+    };
+    let run_once = |counting: bool| {
+        let engine = Engine::start(
+            Arc::clone(&registry),
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 32,
+                max_batch: 4,
+                exec_threads: 1,
+                backend: BackendKind::BatchThreads,
+            },
+        );
+        if counting {
+            counters::set_enabled(true);
+        }
+        let report = harness::run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 60,
+                shards: 2,
+                seed: 6,
+                max_lag: None,
+                interval: Some(Duration::from_millis(2)),
+            },
+        );
+        if counting {
+            counters::set_enabled(false);
+        }
+        let metrics = Arc::clone(engine.metrics());
+        let stats = engine.shutdown();
+        (report, stats, metrics)
+    };
+
+    let (report, stats, metrics) = run_once(true);
+    assert_eq!(report.completed, 60);
+    assert_eq!(report.mismatches, 0);
+
+    // Harness accounting mirrored into the registry reconciles exactly.
+    assert_eq!(metrics.counter("harness_scheduled_total").get(), 60);
+    assert_eq!(
+        metrics.counter("harness_scheduled_total").get(),
+        metrics.counter("harness_completed_total").get()
+            + metrics.counter("harness_shed_total").get()
+            + metrics.counter("harness_errors_total").get()
+    );
+    // Engine lifecycle counters agree with the engine's own stats, and
+    // every phase counted once per request.
+    assert_eq!(metrics.counter("engine_requests_total").get(), stats.served);
+    assert_eq!(stats.phases.queue_wait.count, stats.served);
+    assert_eq!(stats.phases.execute.count, stats.served);
+    assert_eq!(stats.phases.batch_form.count, stats.served);
+    assert_eq!(stats.phases.respond.count, stats.served);
+    // Interval samples rode along and end with the full run.
+    assert!(report.intervals.len() >= 2);
+    assert_eq!(report.intervals.last().unwrap().served, stats.served);
+    // The exposition parses line-by-line and carries both families.
+    let text = metrics.render_prometheus();
+    assert!(text.contains("# TYPE harness_scheduled_total counter"));
+    assert!(text.contains("# TYPE engine_queue_wait_ns summary"));
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+    }
+
+    // Reuse tallies cover both zoo models for the serving backend, with
+    // the factorized walk never exceeding dense-equivalent work. Sibling
+    // tests share the global sink and the zoo names, so filter down to
+    // this run's backend rather than asserting exclusivity.
+    let rows: Vec<_> = counters::snapshot()
+        .into_iter()
+        .filter(|r| (r.net == "tiny" || r.net == "tiny-1") && r.backend == "batch-threads")
+        .collect();
+    assert!(!rows.is_empty(), "serving must produce reuse tallies");
+    for row in &rows {
+        assert!(row.work.multiplies_issued > 0);
+        assert!(row.work.multiplies_issued <= row.work.dense_multiplies);
+    }
+    counters::reset();
+
+    // Loose overhead bound: a counted run must not be drastically slower
+    // than an uncounted one (target <5%; asserted at 2x for CI noise).
+    let t0 = std::time::Instant::now();
+    let (r_off, _, _) = run_once(false);
+    let off = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let (r_on, _, _) = run_once(true);
+    let on = t1.elapsed();
+    assert_eq!(r_off.completed, r_on.completed);
+    assert!(
+        on.as_secs_f64() < off.as_secs_f64() * 2.0 + 0.05,
+        "counting cost exploded: on={on:?} off={off:?}"
+    );
+    counters::reset();
 }
