@@ -4,6 +4,7 @@
 //! repro <experiment>... [--quick] [--batch] [--backend NAME] [--out DIR]
 //!       [--workload NAME] [--mix NAME] [--model NAME]... [--seed N]
 //!       [--requests N] [--duration SECS] [--rate HZ] [--shards N]
+//!       [--deadline-ms N]
 //!
 //! experiments: fig1 fig3 table2 fig7 fig9 fig10 fig11 fig12 fig13 fig14
 //!              table3 ablations serve batch backends all
@@ -24,12 +25,16 @@
 //!
 //! The `serve` experiment is the load-harness front door and **always
 //! writes `BENCH_serve.json`** the same way. By default it sweeps the full
-//! workload matrix (closed at 1 and 8 generator shards, then open/bursty/
-//! ramp arrivals) over the whole model zoo; `--workload` restricts to one
-//! arrival process, `--mix` picks the model-population distribution,
+//! workload matrix (closed at 1 and 8 generator shards, a `closed-1q`
+//! single-central-queue baseline at the same eight workers, then open/
+//! bursty/ramp arrivals, closing with a deadline-bounded `overload` run
+//! at 2× measured capacity) over the whole model zoo; `--workload` restricts to
+//! one arrival process, `--mix` picks the model-population distribution,
 //! `--model` (repeatable) restricts the zoo, `--seed` makes two runs
-//! generate bit-identical request streams, and `--requests`/`--duration`/
-//! `--rate`/`--shards` size the run.
+//! generate bit-identical request streams, `--requests`/`--duration`/
+//! `--rate`/`--shards` size the run, and `--deadline-ms` pins the
+//! per-request deadline (always in force for `overload`, opt-in for the
+//! other workloads).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -129,6 +134,7 @@ fn main() -> ExitCode {
             .into_iter()
             .cloned()
             .collect(),
+        deadline_ms: parse_flag!("--deadline-ms", u64),
         // Observability artifacts (interval JSONL, Prometheus exposition,
         // JSON metrics snapshot) ride along with the tables under --out.
         metrics_dir: out_dir.clone(),
@@ -150,6 +156,7 @@ fn main() -> ExitCode {
             "--workload",
             "--mix",
             "--model",
+            "--deadline-ms",
         ],
     );
     let mut selected: Vec<String> = args

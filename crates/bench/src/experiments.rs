@@ -693,6 +693,10 @@ pub struct ServeOpts {
     pub mix: Option<String>,
     /// Zoo subset to serve (repeatable `--model`); empty = whole zoo.
     pub models: Vec<String>,
+    /// Per-request deadline in milliseconds (`--deadline-ms`). Applied to
+    /// every matrix run when set; the `overload` workload always runs with
+    /// a deadline (this value, or its built-in default).
+    pub deadline_ms: Option<u64>,
     /// Directory the observability artifacts land in (`--out`):
     /// `serve_intervals.jsonl` (per-run interval samples),
     /// `serve_metrics.prom` (session Prometheus exposition), and
@@ -712,6 +716,7 @@ impl Default for ServeOpts {
             workload: None,
             mix: None,
             models: Vec::new(),
+            deadline_ms: None,
             metrics_dir: None,
         }
     }
@@ -732,8 +737,16 @@ const SERVE_ZOO: &[(&str, f64)] = &[("tiny", 0.9), ("tiny-b", 0.8), ("tiny-c", 0
 /// `BENCH_serve.json`.
 ///
 /// The default matrix pins the sharded-stats acceptance pair — the same
-/// closed workload at 1 and 8 generator shards — before sweeping the
-/// scheduled arrivals at an auto-calibrated sustainable rate.
+/// closed workload at 1 and 8 generator shards — plus a `closed-1q`
+/// baseline (the identical eight-worker pool running off one central
+/// queue, `queue_shards: 1`) so the sharded-vs-single-queue comparison
+/// holds every other variable fixed. It then sweeps the scheduled
+/// arrivals at an auto-calibrated sustainable rate, and closes
+/// with an `overload` run: an open-loop arrival at 4× the calibrated rate
+/// (2× measured capacity) under a per-request deadline, exercising
+/// deadline admission control and shed-on-expiry. The appended
+/// `shed_q`/`shed_lag`/`shed_dl`/`steals`/`deadline_ms` columns break the
+/// shed total down by cause and report whole-batch work stealing.
 ///
 /// Observability: every engine records into one session
 /// [`MetricsRegistry`](ucnn_serve::MetricsRegistry) (request-lifecycle
@@ -807,11 +820,19 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
     // (calibration included) records into it, so the final exposition
     // carries the whole session's lifecycle and accounting series.
     let session_metrics = Arc::new(MetricsRegistry::new(2));
-    let start_engine = || {
+    let start_engine = |queue_shards: usize| {
         Engine::start_with_metrics(
             Arc::clone(&registry),
             EngineConfig {
-                workers: 2,
+                // Eight workers is the acceptance configuration. The
+                // default `queue_shards: 0` gives each worker its own
+                // queue shard (work stealing keeps the extra shards from
+                // stranding requests at low offered load); the `closed-1q`
+                // baseline pins `queue_shards: 1` to run the identical
+                // pool off one central queue, isolating the sharding
+                // variable for the no-regression comparison.
+                workers: 8,
+                queue_shards,
                 backend: opts.backend,
                 ..EngineConfig::default()
             },
@@ -823,7 +844,7 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
     // closed-loop capacity unless pinned, so open/bursty/ramp runs are
     // sustainable on any machine.
     let rate = opts.rate_hz.unwrap_or_else(|| {
-        let engine = start_engine();
+        let engine = start_engine(0);
         let wl = StandardWorkload {
             arrival: Arrival::Closed,
             mix: Mix::Sequential,
@@ -836,8 +857,7 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 requests: if quick { 24 } else { 96 },
                 shards: 2,
                 seed: opts.seed,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         let _ = engine.shutdown();
@@ -876,9 +896,14 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
         None => [
             ("closed", "sequential", 1usize),
             ("closed", "sequential", 8),
+            // Same pool, same closed workload, one central queue
+            // (`queue_shards: 1`): the single-queue baseline the
+            // sharded closed×8 run is measured against.
+            ("closed-1q", "sequential", 8),
             ("open", "uniform", 2),
             ("bursty", "hotcold", 2),
             ("ramp", "uniform", 2),
+            ("overload", "uniform", 2),
         ]
         .iter()
         .map(|(w, m, s)| ((*w).to_string(), (*m).to_string(), *s))
@@ -912,19 +937,46 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
             "form_us",
             "exec_us",
             "respond_us",
+            "shed_q",
+            "shed_lag",
+            "shed_dl",
+            "steals",
+            "deadline_ms",
         ],
     );
     // Interval sampler series per run, flattened into one JSONL stream.
     let mut interval_log: Vec<String> = Vec::new();
     for (wname, mname, shards) in matrix {
-        let arrival = Arrival::parse(&wname, rate).unwrap_or_else(|| {
-            panic!("unknown workload '{wname}'; choose closed, open, bursty, or ramp")
-        });
+        // `overload` is an open-loop arrival at 4× the calibrated rate
+        // (2× measured capacity) under a per-request deadline: the run
+        // that exercises deadline admission control and shed-on-expiry.
+        // Any other workload picks up a deadline only when `--deadline-ms`
+        // pins one.
+        let deadline = if wname == "overload" {
+            Some(Duration::from_millis(opts.deadline_ms.unwrap_or(100)))
+        } else {
+            opts.deadline_ms.map(Duration::from_millis)
+        };
+        let arrival = match wname.as_str() {
+            "overload" => Arrival::Open {
+                rate_hz: rate * 4.0,
+            },
+            // `closed-1q` is the closed workload on a single-central-queue
+            // engine: the baseline for the sharding no-regression check.
+            "closed-1q" => Arrival::Closed,
+            _ => Arrival::parse(&wname, rate).unwrap_or_else(|| {
+                panic!(
+                    "unknown workload '{wname}'; choose closed, closed-1q, open, bursty, ramp, \
+                     or overload"
+                )
+            }),
+        };
+        let queue_shards = if wname == "closed-1q" { 1 } else { 0 };
         let mix = Mix::parse(&mname).unwrap_or_else(|| {
             panic!("unknown mix '{mname}'; choose uniform, hotcold, or sequential")
         });
         let wl = StandardWorkload { arrival, mix };
-        let engine = start_engine();
+        let engine = start_engine(queue_shards);
         let report = harness::run(
             &engine,
             &models,
@@ -934,11 +986,15 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 shards,
                 seed: opts.seed,
                 // Backlog policy: a generator more than 2 s behind schedule
-                // sheds instead of compressing the arrival process.
-                max_lag: Some(Duration::from_secs(2)),
+                // sheds instead of compressing the arrival process. With a
+                // deadline in force the lag budget tightens to the deadline
+                // itself — a generator that far behind could only submit
+                // already-dead requests.
+                max_lag: Some(deadline.unwrap_or(Duration::from_secs(2))),
                 // HDR-histogram-log style progress sampling, written to
                 // `serve_intervals.jsonl` when a metrics dir is set.
                 interval: Some(Duration::from_millis(if quick { 10 } else { 50 })),
+                deadline,
             },
         );
         let stats = engine.shutdown();
@@ -955,6 +1011,9 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
         }
         let elapsed_s = report.elapsed.as_secs_f64().max(1e-9);
         let phase_us = |stat: ucnn_serve::PhaseStat| f2(stat.mean_ns() / 1_000.0);
+        let deadline_cell = deadline
+            .map(|d| d.as_millis().to_string())
+            .unwrap_or_else(|| "-".to_string());
         t.push_row(vec![
             wname.clone(),
             mname.clone(),
@@ -976,6 +1035,11 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
             phase_us(stats.phases.batch_form),
             phase_us(stats.phases.execute),
             phase_us(stats.phases.respond),
+            report.shed_queue.to_string(),
+            report.shed_lag.to_string(),
+            report.shed_deadline.to_string(),
+            stats.steals.to_string(),
+            deadline_cell.clone(),
         ]);
         for m in &report.per_model {
             let p_us = |q: f64| f2(m.latency.percentile(q) as f64 / 1_000.0);
@@ -1000,6 +1064,11 @@ pub fn serve_load(quick: bool, opts: &ServeOpts) -> TableOut {
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                deadline_cell.clone(),
             ]);
         }
     }
@@ -1437,8 +1506,8 @@ mod tests {
     #[test]
     fn serve_load_quick_matrix_is_clean_and_accounted() {
         let t = serve_load(true, &ServeOpts::default());
-        // 5 runs × (1 ALL row + 3 zoo models).
-        assert_eq!(t.rows.len(), 5 * 4);
+        // 7 runs × (1 ALL row + 3 zoo models).
+        assert_eq!(t.rows.len(), 7 * 4);
         for row in &t.rows {
             assert_eq!(row[8], "0", "mismatches: {row:?}");
             let scheduled: u64 = row[4].parse().unwrap();
@@ -1451,14 +1520,37 @@ mod tests {
                 "lost requests: {row:?}"
             );
         }
+        // ALL rows break the shed total down by cause in the appended
+        // columns: shed == shed_q + shed_lag + shed_dl, always.
+        for row in t.rows.iter().filter(|r| r[3] == "ALL") {
+            let shed: u64 = row[6].parse().unwrap();
+            let by_cause: u64 = (20..=22).map(|i| row[i].parse::<u64>().unwrap()).sum();
+            assert_eq!(shed, by_cause, "shed breakdown: {row:?}");
+        }
+        // The overload run carries its deadline; every other run runs
+        // without one by default.
+        let overload = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "overload" && r[3] == "ALL")
+            .expect("missing overload row");
+        assert_eq!(overload[24], "100", "deadline_ms: {overload:?}");
+        assert!(
+            t.rows
+                .iter()
+                .filter(|r| r[0] != "overload")
+                .all(|r| r[24] == "-"),
+            "deadline leaked into non-overload runs"
+        );
         // The acceptance pair: closed/sequential at 1 and 8 shards, both
-        // completing everything (closed loops never shed).
-        for shards in ["1", "8"] {
+        // completing everything (closed loops never shed) — plus the
+        // single-central-queue baseline at the same 8 workers.
+        for (workload, shards) in [("closed", "1"), ("closed", "8"), ("closed-1q", "8")] {
             let row = t
                 .rows
                 .iter()
-                .find(|r| r[0] == "closed" && r[2] == shards && r[3] == "ALL")
-                .unwrap_or_else(|| panic!("missing closed x{shards} row"));
+                .find(|r| r[0] == workload && r[2] == shards && r[3] == "ALL")
+                .unwrap_or_else(|| panic!("missing {workload} x{shards} row"));
             assert_eq!(row[4], row[5], "closed run must complete all: {row:?}");
             assert!(row[9].parse::<f64>().unwrap() > 0.0, "throughput: {row:?}");
         }

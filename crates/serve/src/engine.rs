@@ -1,12 +1,28 @@
-//! The batched inference engine: a bounded request queue feeding a pool of
-//! worker threads that execute retained [`CompiledNetwork`] plans.
+//! The batched inference engine: a sharded, work-stealing request queue
+//! feeding a pool of worker threads that execute retained
+//! [`CompiledNetwork`] plans.
 //!
 //! Workers share plans via `Arc` (the plan tree is `Send + Sync`, asserted
 //! at compile time in `ucnn-core`), so any number of workers serve any
 //! number of models with zero per-request compilation or weight copies.
-//! Each worker drains the queue in dynamic batches: under light load a
+//! Each worker owns one shard of a [`ShardedQueue`] — submits spread over
+//! shards with two-choice probing, and a worker whose own shard runs dry
+//! **steals a whole contiguous batch** from the deepest peer (whole
+//! batches, not single items, so model-grouping survives the steal).
+//! Each worker drains its shard in dynamic batches: under light load a
 //! batch is a single request (no added latency), under backlog it grows up
 //! to the configured limit, amortizing queue synchronization.
+//!
+//! Requests may carry a **deadline**. Open-loop submission applies
+//! admission control — a request whose deadline cannot be met at the
+//! current depth (estimated from an EWMA of per-request service time) is
+//! rejected with [`ServeError::DeadlineExceeded`] instead of queued — and
+//! workers shed already-expired requests at drain time rather than
+//! executing dead work. Per-model [`ModelQuota`]s bound each tenant's
+//! requests in flight ([`ServeError::QuotaExceeded`]); the quota slot is
+//! held from admission to response delivery by an RAII token.
+//!
+//! [`ModelQuota`]: crate::registry::ModelQuota
 //!
 //! A drained batch is grouped by model and each group executes as **one
 //! batch-major forward** ([`CompiledNetwork::forward_batch_threads`]): the
@@ -25,24 +41,30 @@
 //! engine-default backend — so the first request after a deploy or a
 //! backend retune does not pay lowering latency in its tail.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ucnn_core::backend::BackendKind;
 use ucnn_core::plan::CompiledNetwork;
 use ucnn_tensor::Tensor3;
 
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use crate::queue::{BoundedQueue, TryPushError};
-use crate::registry::ModelRegistry;
+use crate::queue::{ShardedBatch, ShardedQueue, TryPushError};
+use crate::registry::{ModelRegistry, QuotaToken};
 
 /// Engine sizing knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker thread count (`≥ 1`).
     pub workers: usize,
+    /// Queue shard count; `0` (the default) means one shard per worker.
+    /// Workers map onto shards round-robin, so `queue_shards: 1` runs the
+    /// whole pool off a single central queue — the configuration the
+    /// sharded-vs-single-queue comparison in `repro serve` pins.
+    pub queue_shards: usize,
     /// Bounded queue capacity (backpressure depth).
     pub queue_capacity: usize,
     /// Maximum requests a worker drains per batch.
@@ -68,6 +90,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            queue_shards: 0,
             queue_capacity: 256,
             max_batch: 8,
             exec_threads: 1,
@@ -87,6 +110,13 @@ pub enum ServeError {
     Overloaded,
     /// The worker dropped the response channel (worker panic).
     WorkerLost,
+    /// The request's deadline cannot be (or was not) met: rejected at
+    /// submit by admission control, or shed by a worker that drained it
+    /// after expiry. Either way no forward pass ran for it.
+    DeadlineExceeded,
+    /// The model is at its per-model concurrency ceiling
+    /// ([`crate::registry::ModelQuota`]); the request was not enqueued.
+    QuotaExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -96,6 +126,8 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::Overloaded => write!(f, "request queue is full"),
             ServeError::WorkerLost => write!(f, "worker dropped the response"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::QuotaExceeded => write!(f, "model concurrency quota exceeded"),
         }
     }
 }
@@ -129,17 +161,19 @@ pub struct ServeResponse {
 /// Handle to a submitted request; [`Pending::wait`] blocks for completion.
 #[derive(Debug)]
 pub struct Pending {
-    rx: mpsc::Receiver<ServeResponse>,
+    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
 }
 
 impl Pending {
-    /// Blocks until the response arrives.
+    /// Blocks until the response (or the worker's shed decision) arrives.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::WorkerLost`] if the serving worker died.
+    /// Returns [`ServeError::DeadlineExceeded`] if a worker shed the
+    /// request because it expired in queue, or [`ServeError::WorkerLost`]
+    /// if the serving worker died.
     pub fn wait(self) -> Result<ServeResponse, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)?
     }
 }
 
@@ -151,15 +185,41 @@ struct Request {
     backend: BackendKind,
     input: Tensor3<i16>,
     enqueued_at: Instant,
-    tx: mpsc::Sender<ServeResponse>,
+    /// Absolute expiry. A worker that drains this request at or past the
+    /// deadline sheds it (sends `Err(DeadlineExceeded)`) instead of
+    /// executing dead work.
+    deadline: Option<Instant>,
+    /// Per-model admission slot, held until the response (or shed) is
+    /// delivered — dropping the request on any path releases it.
+    quota: Option<QuotaToken>,
+    tx: mpsc::Sender<Result<ServeResponse, ServeError>>,
 }
 
 struct Counters {
     served: AtomicU64,
     batches: AtomicU64,
     /// `batch_sizes[s]` counts executed batches of exactly `s` requests
-    /// (index 0 unused; sizes are clamped to `max_batch`).
+    /// (index 0 unused).
     batch_sizes: Vec<AtomicU64>,
+    /// Batches whose size exceeded `max_batch` — a grouping bug. Counted
+    /// here instead of being folded into the top bucket so the distribution
+    /// cannot masquerade a bug as legitimate max-size batches.
+    batch_overflows: AtomicU64,
+    /// Batches a worker stole from another worker's shard.
+    steals: AtomicU64,
+    /// Requests shed at drain time because their deadline had expired.
+    shed_deadline: AtomicU64,
+    /// Submissions rejected by deadline admission control (never enqueued).
+    deadline_rejected: AtomicU64,
+    /// Submissions rejected at a model's concurrency ceiling.
+    quota_rejected: AtomicU64,
+    /// EWMA of per-request execute time in nanoseconds (0 = no sample
+    /// yet), feeding deadline admission control.
+    service_est_ns: AtomicU64,
+    /// Workers that died to a panic (caught or joined-as-error).
+    panicked_workers: AtomicU64,
+    /// First worker panic message observed, for [`EngineStats`].
+    panic_message: Mutex<Option<String>>,
 }
 
 impl Counters {
@@ -168,14 +228,48 @@ impl Counters {
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_sizes: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+            batch_overflows: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            service_est_ns: AtomicU64::new(0),
+            panicked_workers: AtomicU64::new(0),
+            panic_message: Mutex::new(None),
         }
     }
 
     fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(size as u64, Ordering::Relaxed);
-        let idx = size.min(self.batch_sizes.len() - 1);
-        self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+        debug_assert!(
+            size < self.batch_sizes.len(),
+            "batch of {size} exceeds max_batch {}",
+            self.batch_sizes.len() - 1
+        );
+        match self.batch_sizes.get(size) {
+            Some(cell) => cell.fetch_add(1, Ordering::Relaxed),
+            None => self.batch_overflows.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Folds one per-request execute-time sample into the EWMA admission
+    /// estimate (α = 1/8; seeded directly by the first sample).
+    fn record_service_sample(&self, per_request_ns: u64) {
+        let sample = per_request_ns.max(1);
+        let old = self.service_est_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.service_est_ns.store(next, Ordering::Relaxed);
+    }
+
+    fn record_panic(&self, message: String) {
+        self.panicked_workers.fetch_add(1, Ordering::Relaxed);
+        let mut first = self.panic_message.lock().expect("panic log poisoned");
+        first.get_or_insert(message);
     }
 }
 
@@ -242,6 +336,25 @@ pub struct EngineStats {
     /// `batch_size_counts[s]` = number of batched forwards that served
     /// exactly `s` requests. Index 0 is unused.
     pub batch_size_counts: Vec<u64>,
+    /// Batches larger than `max_batch` (a grouping bug; always 0 in a
+    /// healthy engine — kept out of [`EngineStats::batch_size_counts`] so
+    /// the distribution cannot hide it).
+    pub batch_overflows: u64,
+    /// Batches drained from another worker's shard (work stealing).
+    pub steals: u64,
+    /// Requests shed at drain time because their deadline had expired
+    /// (their [`Pending::wait`] returned [`ServeError::DeadlineExceeded`]).
+    pub shed_deadline: u64,
+    /// Submissions rejected up front by deadline admission control.
+    pub deadline_rejected: u64,
+    /// Submissions rejected at a model's concurrency ceiling.
+    pub quota_rejected: u64,
+    /// Workers that died to a panic instead of exiting cleanly. Non-zero
+    /// means capacity silently shrank mid-run; see
+    /// [`EngineStats::panic_message`] for the first cause.
+    pub panicked_workers: u64,
+    /// The first worker panic message observed, when any worker panicked.
+    pub panic_message: Option<String>,
     /// Per-phase latency breakdown (queue wait vs batch formation vs
     /// execution vs response delivery).
     pub phases: PhaseBreakdown,
@@ -316,9 +429,10 @@ impl EngineStats {
 /// ```
 pub struct Engine {
     registry: Arc<ModelRegistry>,
-    queue: Arc<BoundedQueue<Request>>,
+    queue: Arc<ShardedQueue<Request>>,
     counters: Arc<Counters>,
     workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
     backend: BackendKind,
     metrics: Arc<MetricsRegistry>,
     handles: EngineMetrics,
@@ -331,6 +445,11 @@ pub struct Engine {
 struct EngineMetrics {
     requests: Arc<Counter>,
     batches: Arc<Counter>,
+    steals: Arc<Counter>,
+    deadline_shed: Arc<Counter>,
+    deadline_rejected: Arc<Counter>,
+    quota_rejected: Arc<Counter>,
+    worker_panics: Arc<Counter>,
     queue_wait: Arc<Histogram>,
     batch_form: Arc<Histogram>,
     execute: Arc<Histogram>,
@@ -344,6 +463,11 @@ impl EngineMetrics {
         Self {
             requests: metrics.counter("engine_requests_total"),
             batches: metrics.counter("engine_batches_total"),
+            steals: metrics.counter("engine_steals_total"),
+            deadline_shed: metrics.counter("engine_deadline_shed_total"),
+            deadline_rejected: metrics.counter("engine_deadline_rejected_total"),
+            quota_rejected: metrics.counter("engine_quota_rejected_total"),
+            worker_panics: metrics.counter("engine_worker_panics_total"),
             queue_wait: metrics.histogram("engine_queue_wait_ns"),
             batch_form: metrics.histogram("engine_batch_form_ns"),
             execute: metrics.histogram("engine_execute_ns"),
@@ -401,14 +525,18 @@ impl Engine {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.exec_threads > 0, "need at least one exec thread");
         assert!(config.max_batch > 0, "need a positive max batch");
-        // Warm every registered plan for the backend that will actually
-        // serve it. The registry warms the override/preference tiers at
-        // insert/override time, but only the engine knows its own default —
-        // the third resolution tier — so plans that fall through to it
-        // (e.g. `EngineConfig { backend: FlattenedBatch, .. }` with plain
-        // plans) get their lazy lowering built here, before the first
-        // request. Models inserted *after* start are covered by the
-        // registry tiers alone.
+        // Adopt the registry: registering the engine default as the third
+        // backend-resolution tier lets the registry warm models inserted
+        // *after* start for the tier that will actually serve them — the
+        // gap that used to put lazy-lowering latency in the first
+        // post-deploy request's tail.
+        registry.set_default_backend(config.backend);
+        // Warm every already-registered plan for the backend that will
+        // serve it: plans inserted before this engine adopted the registry
+        // may have fallen through to a default the registry did not know
+        // yet (e.g. `EngineConfig { backend: FlattenedBatch, .. }` with
+        // plain plans), so their lazy lowering is built here, before the
+        // first request.
         for name in registry.names() {
             if let Some((plan, override_kind)) = registry.get_with_backend(&name) {
                 let kind = override_kind
@@ -417,7 +545,14 @@ impl Engine {
                 plan.warm(kind);
             }
         }
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        // `queue_shards: 0` = one shard per worker (the sharded default);
+        // an explicit count caps it (never above the worker count — extra
+        // shards would have no owner and live off steals alone).
+        let shards = match config.queue_shards {
+            0 => config.workers,
+            n => n.min(config.workers),
+        };
+        let queue = Arc::new(ShardedQueue::new(shards, config.queue_capacity));
         let counters = Arc::new(Counters::new(config.max_batch));
         let handles = EngineMetrics::resolve(&metrics);
         let workers = (0..config.workers)
@@ -427,10 +562,13 @@ impl Engine {
                 let handles = handles.clone();
                 let max_batch = config.max_batch;
                 let exec_threads = config.exec_threads;
+                // With fewer shards than workers, workers share shards
+                // round-robin (`queue_shards: 1` = one central queue).
+                let shard = worker % shards;
                 std::thread::Builder::new()
                     .name(format!("ucnn-serve-{worker}"))
                     .spawn(move || {
-                        worker_loop(worker, &queue, &counters, &handles, max_batch, exec_threads);
+                        worker_loop(shard, &queue, &counters, &handles, max_batch, exec_threads);
                     })
                     .expect("failed to spawn worker")
             })
@@ -440,6 +578,7 @@ impl Engine {
             queue,
             counters,
             workers,
+            worker_count: config.workers,
             backend: config.backend,
             metrics,
             handles,
@@ -481,24 +620,87 @@ impl Engine {
             .unwrap_or(self.backend)
     }
 
+    /// Resolves a named model for submission: plan, pinned backend, and an
+    /// acquired quota slot.
+    fn admit_named(
+        &self,
+        model: &str,
+    ) -> Result<(Arc<CompiledNetwork>, BackendKind, Option<QuotaToken>), ServeError> {
+        let resolved = self
+            .registry
+            .resolve(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let backend = self.resolve_backend(resolved.backend, &resolved.plan);
+        let Some(token) = resolved.quota.try_acquire() else {
+            self.counters.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            self.handles.quota_rejected.inc(0);
+            return Err(ServeError::QuotaExceeded);
+        };
+        Ok((resolved.plan, backend, Some(token)))
+    }
+
+    /// Deadline admission control for the open-loop submit path: predicts
+    /// this request's completion from the current queue depth and the EWMA
+    /// per-request service time, and rejects when the deadline cannot be
+    /// met. With no estimate yet (a cold engine) only already-expired
+    /// deadlines are rejected.
+    fn admit_deadline(&self, deadline: Instant, now: Instant) -> Result<(), ServeError> {
+        let est = self.counters.service_est_ns.load(Ordering::Relaxed);
+        let admitted = if est == 0 {
+            now < deadline
+        } else {
+            let depth = self.queue.len() as u64;
+            // Queued work drains across the pool; the request then pays
+            // its own service time.
+            let predicted_ns = (depth + 1) * est / self.worker_count as u64 + est;
+            now + Duration::from_nanos(predicted_ns) <= deadline
+        };
+        if admitted {
+            Ok(())
+        } else {
+            self.counters
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            self.handles.deadline_rejected.inc(0);
+            Err(ServeError::DeadlineExceeded)
+        }
+    }
+
     /// Submits a request by model name, blocking while the queue is full
     /// (closed-loop backpressure).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownModel`] or [`ServeError::ShuttingDown`].
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::QuotaExceeded`],
+    /// or [`ServeError::ShuttingDown`].
     pub fn submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
-        let (plan, override_kind) = self
-            .registry
-            .get_with_backend(model)
-            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let backend = self.resolve_backend(override_kind, &plan);
-        self.push_request(plan, backend, input)
+        let (plan, backend, quota) = self.admit_named(model)?;
+        self.push_request(plan, backend, input, None, quota)
+    }
+
+    /// Like [`Engine::submit`], but tags the request with an absolute
+    /// deadline. The blocking path applies backpressure instead of
+    /// admission control, so the request always enqueues (quota permitting)
+    /// — but a worker that drains it past the deadline sheds it, and
+    /// [`Pending::wait`] then returns [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::QuotaExceeded`],
+    /// or [`ServeError::ShuttingDown`].
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        input: Tensor3<i16>,
+        deadline: Instant,
+    ) -> Result<Pending, ServeError> {
+        let (plan, backend, quota) = self.admit_named(model)?;
+        self.push_request(plan, backend, input, Some(deadline), quota)
     }
 
     /// Submits a request for an already resolved plan (no registry
-    /// override: the plan's backend preference wins, engine default
-    /// otherwise), blocking while the queue is full.
+    /// override or quota: the plan's backend preference wins, engine
+    /// default otherwise), blocking while the queue is full.
     ///
     /// # Errors
     ///
@@ -509,7 +711,7 @@ impl Engine {
         input: Tensor3<i16>,
     ) -> Result<Pending, ServeError> {
         let backend = self.resolve_backend(None, &model);
-        self.push_request(model, backend, input)
+        self.push_request(model, backend, input, None, None)
     }
 
     /// Builds the queued request and the handle the caller waits on — the
@@ -519,6 +721,8 @@ impl Engine {
         model: Arc<CompiledNetwork>,
         backend: BackendKind,
         input: Tensor3<i16>,
+        deadline: Option<Instant>,
+        quota: Option<QuotaToken>,
     ) -> (Request, Pending) {
         let (tx, rx) = mpsc::channel();
         let request = Request {
@@ -526,6 +730,8 @@ impl Engine {
             backend,
             input,
             enqueued_at: Instant::now(),
+            deadline,
+            quota,
             tx,
         };
         (request, Pending { rx })
@@ -536,8 +742,10 @@ impl Engine {
         model: Arc<CompiledNetwork>,
         backend: BackendKind,
         input: Tensor3<i16>,
+        deadline: Option<Instant>,
+        quota: Option<QuotaToken>,
     ) -> Result<Pending, ServeError> {
-        let (request, pending) = Self::make_request(model, backend, input);
+        let (request, pending) = Self::make_request(model, backend, input, deadline, quota);
         self.queue
             .push(request)
             .map_err(|_| ServeError::ShuttingDown)?;
@@ -549,15 +757,43 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownModel`], [`ServeError::Overloaded`], or
-    /// [`ServeError::ShuttingDown`].
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::QuotaExceeded`],
+    /// [`ServeError::Overloaded`], or [`ServeError::ShuttingDown`].
     pub fn try_submit(&self, model: &str, input: Tensor3<i16>) -> Result<Pending, ServeError> {
-        let (plan, override_kind) = self
-            .registry
-            .get_with_backend(model)
-            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let backend = self.resolve_backend(override_kind, &plan);
-        let (request, pending) = Self::make_request(plan, backend, input);
+        self.try_submit_inner(model, input, None)
+    }
+
+    /// Non-blocking submit with deadline admission control: on top of the
+    /// [`Engine::try_submit`] semantics, the request is rejected with
+    /// [`ServeError::DeadlineExceeded`] when the predicted completion at
+    /// the current queue depth already misses `deadline` — overload sheds
+    /// work at the door instead of queueing requests that will expire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::QuotaExceeded`],
+    /// [`ServeError::DeadlineExceeded`], [`ServeError::Overloaded`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn try_submit_with_deadline(
+        &self,
+        model: &str,
+        input: Tensor3<i16>,
+        deadline: Instant,
+    ) -> Result<Pending, ServeError> {
+        self.try_submit_inner(model, input, Some(deadline))
+    }
+
+    fn try_submit_inner(
+        &self,
+        model: &str,
+        input: Tensor3<i16>,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        if let Some(deadline) = deadline {
+            self.admit_deadline(deadline, Instant::now())?;
+        }
+        let (plan, backend, quota) = self.admit_named(model)?;
+        let (request, pending) = Self::make_request(plan, backend, input, deadline, quota);
         self.queue.try_push(request).map_err(|e| match e {
             TryPushError::Full => ServeError::Overloaded,
             TryPushError::Closed => ServeError::ShuttingDown,
@@ -586,6 +822,18 @@ impl Engine {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            batch_overflows: self.counters.batch_overflows.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
+            deadline_rejected: self.counters.deadline_rejected.load(Ordering::Relaxed),
+            quota_rejected: self.counters.quota_rejected.load(Ordering::Relaxed),
+            panicked_workers: self.counters.panicked_workers.load(Ordering::Relaxed),
+            panic_message: self
+                .counters
+                .panic_message
+                .lock()
+                .expect("panic log poisoned")
+                .clone(),
             phases: self.handles.phases(),
         }
     }
@@ -604,11 +852,20 @@ impl Engine {
 
     /// Stops accepting requests, drains the queue, joins all workers, and
     /// returns the aggregate counters.
+    ///
+    /// Worker panics are **surfaced, not swallowed**: each one shows up in
+    /// [`EngineStats::panicked_workers`] with the first message in
+    /// [`EngineStats::panic_message`]. (Workers catch their own panics to
+    /// record them; the join check is a backstop for a panic outside the
+    /// guarded region.)
     #[must_use]
     pub fn shutdown(mut self) -> EngineStats {
         self.queue.close();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            if let Err(payload) = handle.join() {
+                self.counters.record_panic(panic_message(&payload));
+                self.handles.worker_panics.inc(0);
+            }
         }
         self.stats()
     }
@@ -622,82 +879,167 @@ impl Drop for Engine {
     }
 }
 
+/// Balances the in-flight gauge on every exit path out of a batch —
+/// including a panic's unwind — so a dead worker never leaves the gauge
+/// permanently inflated.
+struct InFlightGuard<'a> {
+    gauge: &'a Gauge,
+    n: i64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-self.n);
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
 fn worker_loop(
     worker: usize,
-    queue: &BoundedQueue<Request>,
+    queue: &ShardedQueue<Request>,
     counters: &Counters,
     metrics: &EngineMetrics,
     max_batch: usize,
     exec_threads: usize,
 ) {
-    while let Some(batch) = queue.pop_batch(max_batch) {
-        // Lifecycle stamp: the drain ends every rider's queue-wait phase.
-        // Depth and in-flight gauges are sampled on every drain so load is
-        // observable while a run is in progress.
-        let drained_at = Instant::now();
-        let drained = batch.len();
-        metrics.queue_depth.set(queue.len() as i64);
-        metrics.in_flight.add(drained as i64);
-        // Group the drained requests by (model, backend) — FIFO order
-        // preserved within a group — so each group runs as ONE batch-major
-        // forward through one executor.
-        type Group = (Arc<CompiledNetwork>, BackendKind, Vec<Request>);
-        let mut groups: Vec<Group> = Vec::new();
-        for req in batch {
-            match groups.iter_mut().find(|(model, backend, _)| {
-                Arc::ptr_eq(model, &req.model) && *backend == req.backend
-            }) {
-                Some((_, _, requests)) => requests.push(req),
-                None => {
-                    let model = Arc::clone(&req.model);
-                    let backend = req.backend;
-                    groups.push((model, backend, vec![req]));
-                }
+    while let Some(ShardedBatch { items, stolen }) = queue.pop_batch(worker, max_batch) {
+        if stolen {
+            counters.steals.fetch_add(1, Ordering::Relaxed);
+            metrics.steals.inc(worker);
+        }
+        // A panicking batch must not take the engine down silently: catch
+        // it, record which worker died and why, and let the thread exit —
+        // capacity shrinks (visibly, via the counter) and the remaining
+        // workers steal this worker's shard dry. Requests lost mid-batch
+        // surface as `WorkerLost` to their callers.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_batch(worker, items, queue, counters, metrics, exec_threads);
+        }));
+        if let Err(payload) = outcome {
+            counters.record_panic(panic_message(payload.as_ref()));
+            metrics.worker_panics.inc(worker);
+            return;
+        }
+    }
+}
+
+fn serve_batch(
+    worker: usize,
+    batch: Vec<Request>,
+    queue: &ShardedQueue<Request>,
+    counters: &Counters,
+    metrics: &EngineMetrics,
+    exec_threads: usize,
+) {
+    // Lifecycle stamp: the drain ends every rider's queue-wait phase.
+    // Depth and in-flight gauges are sampled on every drain so load is
+    // observable while a run is in progress.
+    let drained_at = Instant::now();
+    let drained = batch.len();
+    metrics.queue_depth.set(queue.len() as i64);
+    metrics.in_flight.add(drained as i64);
+    let _in_flight = InFlightGuard {
+        gauge: &metrics.in_flight,
+        n: drained as i64,
+    };
+    // Shed-on-expiry: requests whose deadline passed while they queued are
+    // answered with the shed verdict instead of burning a forward pass on
+    // output nobody can use. Shed requests are not "served" — the phase
+    // histograms and batch distribution only see executed work.
+    let (live, expired): (Vec<_>, Vec<_>) = batch
+        .into_iter()
+        .partition(|req| req.deadline.map_or(true, |d| drained_at < d));
+    if !expired.is_empty() {
+        counters
+            .shed_deadline
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        metrics.deadline_shed.add(worker, expired.len() as u64);
+        for req in expired {
+            // A dropped receiver (client gave up) is not an error; the
+            // quota token releases with the request either way.
+            let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+        }
+    }
+    // Group the live requests by (model, backend) — FIFO order preserved
+    // within a group — so each group runs as ONE batch-major forward
+    // through one executor.
+    type Group = (Arc<CompiledNetwork>, BackendKind, Vec<Request>);
+    let mut groups: Vec<Group> = Vec::new();
+    for req in live {
+        match groups
+            .iter_mut()
+            .find(|(model, backend, _)| Arc::ptr_eq(model, &req.model) && *backend == req.backend)
+        {
+            Some((_, _, requests)) => requests.push(req),
+            None => {
+                let model = Arc::clone(&req.model);
+                let backend = req.backend;
+                groups.push((model, backend, vec![req]));
             }
         }
-        for (model, backend, requests) in groups {
-            let batch_size = requests.len();
-            counters.record_batch(batch_size);
-            metrics.batches.inc(worker);
-            metrics.requests.add(worker, batch_size as u64);
-            let mut inputs = Vec::with_capacity(batch_size);
-            let mut receipts = Vec::with_capacity(batch_size);
-            for req in requests {
-                inputs.push(req.input);
-                receipts.push((req.tx, req.enqueued_at));
-            }
-            let start = Instant::now();
-            // Batch-shared phases record once per rider, keeping every
-            // phase's count equal to requests served.
-            let batch_form_ns = ns(start.duration_since(drained_at));
-            for (_, enqueued_at) in &receipts {
-                metrics
-                    .queue_wait
-                    .record(ns(drained_at.duration_since(*enqueued_at)));
-                metrics.batch_form.record(batch_form_ns);
-            }
-            let outputs = model.forward_batch_with(&inputs, backend, exec_threads);
-            let completed_at = Instant::now();
-            let service_ns = ns(completed_at.duration_since(start));
-            for ((tx, enqueued_at), output) in receipts.into_iter().zip(outputs) {
-                metrics.execute.record(service_ns);
-                // A dropped receiver (client gave up) is not an error.
-                let _ = tx.send(ServeResponse {
-                    output,
-                    queue_ns: ns(start.duration_since(enqueued_at)),
-                    batch_form_ns,
-                    service_ns,
-                    batch_size,
-                    worker,
-                    completed_at,
-                });
-            }
-            let respond_ns = ns(Instant::now().duration_since(completed_at));
-            for _ in 0..batch_size {
-                metrics.respond.record(respond_ns);
-            }
+    }
+    for (model, backend, requests) in groups {
+        let batch_size = requests.len();
+        let mut inputs = Vec::with_capacity(batch_size);
+        let mut receipts = Vec::with_capacity(batch_size);
+        for req in requests {
+            inputs.push(req.input);
+            receipts.push((req.tx, req.enqueued_at, req.quota));
         }
-        metrics.in_flight.add(-(drained as i64));
+        let start = Instant::now();
+        let batch_form_ns = ns(start.duration_since(drained_at));
+        let outputs = model.forward_batch_with(&inputs, backend, exec_threads);
+        let completed_at = Instant::now();
+        let service_ns = ns(completed_at.duration_since(start));
+        // Counters and phase records land only after the forward returned:
+        // a batch that panics mid-execution is counted by the panic path,
+        // not silently folded into `served` (which must keep meaning
+        // "responses actually produced").
+        counters.record_batch(batch_size);
+        metrics.batches.inc(worker);
+        metrics.requests.add(worker, batch_size as u64);
+        // Feed admission control's EWMA with this batch's amortized
+        // per-request cost.
+        counters.record_service_sample(service_ns / batch_size as u64);
+        // Batch-shared phases record once per rider, keeping every
+        // phase's count equal to requests served.
+        for (_, enqueued_at, _) in &receipts {
+            metrics
+                .queue_wait
+                .record(ns(drained_at.duration_since(*enqueued_at)));
+            metrics.batch_form.record(batch_form_ns);
+        }
+        for ((tx, enqueued_at, quota), output) in receipts.into_iter().zip(outputs) {
+            metrics.execute.record(service_ns);
+            // Free the admission slot *before* handing off the response:
+            // once a caller's wait() returns, its quota slot is already
+            // released.
+            drop(quota);
+            // A dropped receiver (client gave up) is not an error.
+            let _ = tx.send(Ok(ServeResponse {
+                output,
+                queue_ns: ns(start.duration_since(enqueued_at)),
+                batch_form_ns,
+                service_ns,
+                batch_size,
+                worker,
+                completed_at,
+            }));
+        }
+        let respond_ns = ns(Instant::now().duration_since(completed_at));
+        for _ in 0..batch_size {
+            metrics.respond.record(respond_ns);
+        }
     }
 }
 
@@ -917,6 +1259,7 @@ mod tests {
                     max_batch: 4,
                     exec_threads: 1,
                     backend,
+                    ..EngineConfig::default()
                 },
             );
             assert_eq!(engine.backend(), backend);
@@ -1131,5 +1474,175 @@ mod tests {
             ServeError::ShuttingDown
         );
         let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_the_door() {
+        // Cold engine (no service estimate yet): admission control still
+        // rejects a deadline that has already passed, without enqueueing.
+        let (engine, cases) = tiny_engine(1);
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = engine
+            .try_submit_with_deadline("tiny", cases[0].0.clone(), past)
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let metrics = Arc::clone(engine.metrics());
+        let stats = engine.shutdown();
+        assert_eq!(stats.deadline_rejected, 1);
+        assert_eq!(stats.shed_deadline, 0, "never enqueued, so never shed");
+        assert_eq!(stats.served, 0);
+        assert_eq!(metrics.counter("engine_deadline_rejected_total").get(), 1);
+    }
+
+    #[test]
+    fn admission_rejects_unmeetable_deadlines_once_calibrated() {
+        // Warm the EWMA with one served request, then ask for a deadline
+        // far below any plausible service time: admission must reject it
+        // even though the deadline itself is still in the future.
+        let (engine, cases) = tiny_engine(1);
+        let _ = engine
+            .submit("tiny", cases[0].0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            engine.counters.service_est_ns.load(Ordering::Relaxed) > 0,
+            "first forward must seed the estimate"
+        );
+        let err = engine
+            .try_submit_with_deadline("tiny", cases[0].0.clone(), Instant::now())
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        // A generous deadline passes the same gate.
+        let pending = engine
+            .try_submit_with_deadline(
+                "tiny",
+                cases[0].0.clone(),
+                Instant::now() + Duration::from_secs(60),
+            )
+            .unwrap();
+        let _ = pending.wait().unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.deadline_rejected, 1);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn workers_shed_requests_that_expired_in_queue() {
+        // The blocking deadline path skips admission (backpressure instead),
+        // so an already-expired request reaches a worker — which must shed
+        // it at drain time instead of executing dead work.
+        let (engine, cases) = tiny_engine(1);
+        let past = Instant::now() - Duration::from_millis(1);
+        let pending = engine
+            .submit_with_deadline("tiny", cases[0].0.clone(), past)
+            .unwrap();
+        assert_eq!(pending.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        // A live deadline still serves normally.
+        let ok = engine
+            .submit_with_deadline(
+                "tiny",
+                cases[0].0.clone(),
+                Instant::now() + Duration::from_secs(60),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(ok.output, cases[0].1);
+        let metrics = Arc::clone(engine.metrics());
+        let stats = engine.shutdown();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.served, 1, "shed requests are not served");
+        assert_eq!(stats.phases.execute.count, 1, "no forward ran for the shed");
+        assert_eq!(metrics.counter("engine_deadline_shed_total").get(), 1);
+        assert_eq!(metrics.gauge("engine_in_flight").get(), 0);
+    }
+
+    #[test]
+    fn quota_ceiling_rejects_submissions_and_releases_with_responses() {
+        let (engine, cases) = tiny_engine(1);
+        assert!(engine.registry().set_quota("tiny", Some(1)));
+        // Hold the single slot from outside: submission must bounce
+        // deterministically, with no queueing.
+        let quota = engine.registry().quota("tiny").unwrap();
+        let held = quota.try_acquire().expect("first slot");
+        assert_eq!(
+            engine.submit("tiny", cases[0].0.clone()).unwrap_err(),
+            ServeError::QuotaExceeded
+        );
+        assert_eq!(
+            engine.try_submit("tiny", cases[0].0.clone()).unwrap_err(),
+            ServeError::QuotaExceeded
+        );
+        drop(held);
+        // The slot is released: the next submit is admitted and its own
+        // token releases once the response is delivered.
+        let resp = engine
+            .submit("tiny", cases[0].0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.output, cases[0].1);
+        assert_eq!(quota.active(), 0, "response delivery must free the slot");
+        let stats = engine.shutdown();
+        assert_eq!(stats.quota_rejected, 2);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_not_swallowed() {
+        // A malformed input (wrong shape for the first conv layer) panics
+        // the executor inside the worker. The engine must record which
+        // worker died and why; the caller sees WorkerLost, and the second
+        // worker keeps serving by stealing the dead worker's shard.
+        let (engine, cases) = tiny_engine(2);
+        let plan = engine.registry().get("tiny").unwrap();
+        let poison = Tensor3::<i16>::zeros(1, 1, 1);
+        let lost = engine.submit_plan(plan, poison).unwrap();
+        assert_eq!(lost.wait().unwrap_err(), ServeError::WorkerLost);
+        // The pool (minus one worker) still serves correctly.
+        for _ in 0..6 {
+            let resp = engine
+                .submit("tiny", cases[0].0.clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(resp.output, cases[0].1);
+        }
+        let metrics = Arc::clone(engine.metrics());
+        let stats = engine.shutdown();
+        assert_eq!(stats.panicked_workers, 1);
+        assert!(
+            stats.panic_message.is_some(),
+            "the panic cause must be propagated"
+        );
+        assert_eq!(stats.served, 6);
+        assert_eq!(metrics.counter("engine_worker_panics_total").get(), 1);
+        assert_eq!(
+            metrics.gauge("engine_in_flight").get(),
+            0,
+            "the unwind must balance the in-flight gauge"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds max_batch")]
+    fn oversized_batch_trips_the_debug_assert() {
+        // In release builds the same call lands in the dedicated overflow
+        // cell (`EngineStats::batch_overflows`) instead of masquerading as
+        // a legitimate max-size batch.
+        let counters = Counters::new(4);
+        counters.record_batch(9);
+    }
+
+    #[test]
+    fn in_queue_batch_sizes_never_reach_the_overflow_cell() {
+        let counters = Counters::new(4);
+        for size in 1..=4 {
+            counters.record_batch(size);
+        }
+        assert_eq!(counters.batch_overflows.load(Ordering::Relaxed), 0);
+        assert_eq!(counters.batches.load(Ordering::Relaxed), 4);
     }
 }

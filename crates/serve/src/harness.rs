@@ -14,9 +14,12 @@
 //! is charged from the request's *intended* send time, a full queue is a
 //! counted shed rather than a stall, and a generator that falls further
 //! than [`RunConfig::max_lag`] behind schedule sheds the overdue request
-//! instead of silently compressing the arrival process. Every scheduled
-//! request therefore lands in exactly one counter:
-//! `scheduled == completed + shed_queue + shed_lag + errors`.
+//! instead of silently compressing the arrival process. With
+//! [`RunConfig::deadline`] set, every request carries an absolute deadline
+//! of `intended + deadline` — rejected admissions and drain-time expiries
+//! both land in [`HarnessReport::shed_deadline`]. Every scheduled request
+//! therefore lands in exactly one counter:
+//! `scheduled == completed + shed_queue + shed_lag + shed_deadline + errors`.
 //!
 //! With [`RunConfig::interval`] set, a sampler thread rides along and
 //! snapshots engine progress (queue depth, served, batches) every interval
@@ -67,6 +70,13 @@ pub struct RunConfig {
     /// totals every `d` into [`HarnessReport::intervals`]. `None` (the
     /// default) samples nothing.
     pub interval: Option<Duration>,
+    /// Per-request deadline, relative to the request's *intended* send
+    /// time (open loop) or submit instant (closed loop). Open-loop sends
+    /// go through deadline admission control; requests rejected at the
+    /// door or shed at drain both count in
+    /// [`HarnessReport::shed_deadline`]. `None` (the default) serves
+    /// without deadlines.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RunConfig {
@@ -77,6 +87,7 @@ impl Default for RunConfig {
             seed: 0,
             max_lag: None,
             interval: None,
+            deadline: None,
         }
     }
 }
@@ -130,6 +141,9 @@ pub struct HarnessReport {
     pub shed_queue: u64,
     /// Open-loop requests shed by the [`RunConfig::max_lag`] backlog policy.
     pub shed_lag: u64,
+    /// Requests shed on their [`RunConfig::deadline`]: rejected by
+    /// admission control at submit, or expired in queue and shed at drain.
+    pub shed_deadline: u64,
     /// Submit/wait errors (engine shutdown mid-run, worker loss).
     pub errors: u64,
     /// Responses whose output differed from the dense reference.
@@ -149,10 +163,10 @@ pub struct HarnessReport {
 }
 
 impl HarnessReport {
-    /// Total requests shed (queue-full plus backlog policy).
+    /// Total requests shed (queue-full, backlog policy, and deadline).
     #[must_use]
     pub fn shed(&self) -> u64 {
-        self.shed_queue + self.shed_lag
+        self.shed_queue + self.shed_lag + self.shed_deadline
     }
 
     /// Fraction of scheduled requests shed.
@@ -212,6 +226,7 @@ struct ShardTally {
     completed: u64,
     shed_queue: u64,
     shed_lag: u64,
+    shed_deadline: u64,
     errors: u64,
     mismatches: u64,
     per_model: Vec<ModelTally>,
@@ -234,6 +249,7 @@ impl ShardTally {
             completed: 0,
             shed_queue: 0,
             shed_lag: 0,
+            shed_deadline: 0,
             errors: 0,
             mismatches: 0,
             per_model: (0..models)
@@ -316,7 +332,7 @@ pub fn run(
                 let schedule = &schedule;
                 scope.spawn(move || {
                     let specs = schedule.iter().skip(shard).step_by(cfg.shards);
-                    run_shard(engine, models, specs, started, cfg.max_lag)
+                    run_shard(engine, models, specs, started, cfg.max_lag, cfg.deadline)
                 })
             })
             .collect();
@@ -336,6 +352,7 @@ pub fn run(
         completed: 0,
         shed_queue: 0,
         shed_lag: 0,
+        shed_deadline: 0,
         errors: 0,
         mismatches: 0,
         elapsed,
@@ -361,6 +378,7 @@ pub fn run(
         report.completed += tally.completed;
         report.shed_queue += tally.shed_queue;
         report.shed_lag += tally.shed_lag;
+        report.shed_deadline += tally.shed_deadline;
         report.errors += tally.errors;
         report.mismatches += tally.mismatches;
         for (out, shard) in report.per_model.iter_mut().zip(&tally.per_model) {
@@ -374,7 +392,11 @@ pub fn run(
     }
     assert_eq!(
         report.scheduled,
-        report.completed + report.shed_queue + report.shed_lag + report.errors,
+        report.completed
+            + report.shed_queue
+            + report.shed_lag
+            + report.shed_deadline
+            + report.errors,
         "every scheduled request must land in exactly one counter"
     );
     // Mirror the run's accounting into the engine's metrics registry, so
@@ -389,6 +411,9 @@ pub fn run(
         .add(0, report.completed);
     metrics.counter("harness_shed_total").add(0, report.shed());
     metrics
+        .counter("harness_shed_deadline_total")
+        .add(0, report.shed_deadline);
+    metrics
         .counter("harness_errors_total")
         .add(0, report.errors);
     report
@@ -400,6 +425,7 @@ fn run_shard<'a>(
     specs: impl Iterator<Item = &'a RequestSpec>,
     started: Instant,
     max_lag: Option<Duration>,
+    deadline: Option<Duration>,
 ) -> ShardTally {
     let mut tally = ShardTally::new(models.len());
     // Scheduled (open-loop) requests dispatched but not yet waited on:
@@ -416,7 +442,11 @@ fn run_shard<'a>(
                 // back, latency from the submit instant.
                 let input = model.cases[case_idx].0.clone();
                 let sent = Instant::now();
-                match engine.submit(&model.name, input).and_then(Pending::wait) {
+                let submitted = match deadline {
+                    Some(d) => engine.submit_with_deadline(&model.name, input, sent + d),
+                    None => engine.submit(&model.name, input),
+                };
+                match submitted.and_then(Pending::wait) {
                     Ok(resp) => {
                         let latency = ns(resp.completed_at.duration_since(sent));
                         tally.latency.record(latency);
@@ -428,6 +458,10 @@ fn run_shard<'a>(
                             tally.mismatches += 1;
                             m.mismatches += 1;
                         }
+                    }
+                    Err(ServeError::DeadlineExceeded) => {
+                        tally.shed_deadline += 1;
+                        m.shed += 1;
                     }
                     Err(_) => {
                         // Keep iterating even through ShuttingDown so every
@@ -453,10 +487,22 @@ fn run_shard<'a>(
                     std::thread::sleep(intended - now);
                 }
                 let input = model.cases[case_idx].0.clone();
-                match engine.try_submit(&model.name, input) {
+                // The deadline is anchored to the *intended* send time, so
+                // a lagging generator cannot quietly grant overdue requests
+                // extra budget (the coordinated-omission stance, applied to
+                // deadlines).
+                let submitted = match deadline {
+                    Some(d) => engine.try_submit_with_deadline(&model.name, input, intended + d),
+                    None => engine.try_submit(&model.name, input),
+                };
+                match submitted {
                     Ok(pending) => in_flight.push((spec.model, case_idx, intended, pending)),
                     Err(ServeError::Overloaded) => {
                         tally.shed_queue += 1;
+                        m.shed += 1;
+                    }
+                    Err(ServeError::DeadlineExceeded) => {
+                        tally.shed_deadline += 1;
                         m.shed += 1;
                     }
                     Err(_) => {
@@ -483,6 +529,11 @@ fn run_shard<'a>(
                     tally.mismatches += 1;
                     m.mismatches += 1;
                 }
+            }
+            Err(ServeError::DeadlineExceeded) => {
+                // Admitted but expired in queue: a worker shed it at drain.
+                tally.shed_deadline += 1;
+                m.shed += 1;
             }
             Err(_) => {
                 tally.errors += 1;
@@ -565,8 +616,7 @@ mod tests {
                 requests: 24,
                 shards: 3,
                 seed: 1,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         assert_eq!(report.scheduled, 24);
@@ -610,8 +660,7 @@ mod tests {
                 requests: 50,
                 shards: 2,
                 seed: 2,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         assert_eq!(
@@ -646,7 +695,7 @@ mod tests {
                 shards: 1,
                 seed: 3,
                 max_lag: Some(Duration::ZERO),
-                interval: None,
+                ..RunConfig::default()
             },
         );
         assert_eq!(
@@ -655,6 +704,62 @@ mod tests {
             "zero lost requests"
         );
         assert!(report.shed_lag > 0, "expected backlog sheds");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn overload_with_deadlines_sheds_and_keeps_the_identity() {
+        // One worker, one-slot queue, arrivals far beyond capacity, tight
+        // deadlines: most requests are shed (queue-full, or rejected /
+        // expired on deadline), none are lost, and nothing mismatches.
+        let (engine, models) = setup(
+            1,
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let wl = StandardWorkload {
+            arrival: Arrival::Open { rate_hz: 500_000.0 },
+            mix: Mix::Uniform,
+        };
+        let deadline = Duration::from_millis(5);
+        let report = run(
+            &engine,
+            &models,
+            &wl,
+            RunConfig {
+                requests: 300,
+                shards: 2,
+                seed: 6,
+                max_lag: Some(deadline),
+                deadline: Some(deadline),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(
+            report.completed
+                + report.shed_queue
+                + report.shed_lag
+                + report.shed_deadline
+                + report.errors,
+            300,
+            "five-term identity"
+        );
+        assert!(
+            report.shed_deadline > 0,
+            "overload at a 5ms deadline must shed on deadline: {report:?}"
+        );
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.errors, 0, "sheds are not errors");
+        // Shed accounting is mirrored into the metrics registry.
+        let m = engine.metrics();
+        assert_eq!(
+            m.counter("harness_shed_deadline_total").get(),
+            report.shed_deadline
+        );
         let _ = engine.shutdown();
     }
 
@@ -674,8 +779,7 @@ mod tests {
                 requests: 10,
                 shards: 2,
                 seed: 4,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         // Every request fails with ShuttingDown but none are lost.
@@ -700,8 +804,8 @@ mod tests {
                 requests: 16,
                 shards: 2,
                 seed: 5,
-                max_lag: None,
                 interval: Some(Duration::from_millis(1)),
+                ..RunConfig::default()
             },
         );
         assert!(

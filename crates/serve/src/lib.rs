@@ -8,14 +8,21 @@
 //! * [`ModelRegistry`] — compile a network once
 //!   ([`ucnn_core::plan::CompiledNetwork`]), register it by name, and share
 //!   the immutable plan across threads behind an `Arc`.
-//! * [`Engine`] — a bounded request queue with dynamic batching feeding a
-//!   pool of worker threads; each drained batch is grouped by model and
-//!   executed as **one batch-major forward**
+//! * [`Engine`] — a sharded, work-stealing request queue
+//!   ([`queue::ShardedQueue`]: one bounded shard per worker; an
+//!   undersized drain tops its batch up with whole FIFO runs stolen from
+//!   the deepest peers, so spread-out arrivals still coalesce into
+//!   batch-major forwards) with dynamic batching feeding a pool of
+//!   worker threads; each drained batch is grouped by model and executed
+//!   as **one batch-major forward**
 //!   ([`ucnn_core::plan::CompiledNetwork::forward_batch_threads`]), walking
 //!   the retained streams once for the whole batch — with
 //!   [`EngineConfig::exec_threads`] scoped threads inside the forward —
 //!   and every response stays bit-identical to the dense reference at
-//!   every batch size and thread count.
+//!   every batch size and thread count. Requests can carry **deadlines**
+//!   (admission control at submit, shed-on-expiry at drain) and per-model
+//!   concurrency **quotas** ([`registry::ModelQuota`]); worker panics are
+//!   surfaced in [`EngineStats`], never swallowed.
 //! * [`LatencyHistogram`] — HDR-style log-bucketed latency recording with
 //!   ≤ ~3 % relative error and exact shard merging.
 //! * [`workload`] — the workload zoo: a [`Workload`] trait with pluggable
@@ -67,7 +74,7 @@
 //!     &engine,
 //!     &models,
 //!     &wl,
-//!     RunConfig { requests: 6, shards: 2, seed: 7, max_lag: None, interval: None },
+//!     RunConfig { requests: 6, shards: 2, seed: 7, ..RunConfig::default() },
 //! );
 //! assert_eq!(report.completed, 6);
 //! assert_eq!(report.mismatches, 0);
@@ -94,5 +101,6 @@ pub use harness::{HarnessReport, IntervalSample, ModelBreakdown, ModelCases, Run
 pub use histogram::LatencyHistogram;
 pub use loadgen::LoadReport;
 pub use metrics::MetricsRegistry;
-pub use registry::ModelRegistry;
+pub use queue::{ShardedBatch, ShardedQueue};
+pub use registry::{ModelQuota, ModelRegistry, QuotaToken, ResolvedModel};
 pub use workload::{Arrival, Mix, RequestSpec, StandardWorkload, Workload};

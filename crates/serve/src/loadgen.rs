@@ -134,8 +134,7 @@ pub fn closed_loop(
             requests: clients * iters_per_client,
             shards: clients,
             seed: 0,
-            max_lag: None,
-            interval: None,
+            ..RunConfig::default()
         },
     );
     LoadReport::from_harness(format!("closed-loop x{clients} clients"), report)
@@ -175,8 +174,7 @@ pub fn open_loop(
             requests,
             shards: 1,
             seed: 0,
-            max_lag: None,
-            interval: None,
+            ..RunConfig::default()
         },
     );
     LoadReport::from_harness(format!("open-loop @{rate_hz:.0} req/s"), report)

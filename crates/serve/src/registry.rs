@@ -3,8 +3,16 @@
 //! Holds `Arc<CompiledNetwork>` plans by name. Registration pays the full
 //! sort/factorize cost; every lookup afterwards is a read-locked map access
 //! and an `Arc` clone — workers never copy plan data.
+//!
+//! Besides the plan, each entry carries live-operations state that
+//! **survives hot-swaps**: the per-model backend override and the
+//! per-model concurrency [`ModelQuota`]. Re-inserting a model replaces the
+//! plan atomically but keeps both, so an operator's retune and a tenant's
+//! admission ceiling (including requests currently in flight against it)
+//! are stable across deploys.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use ucnn_core::backend::BackendKind;
@@ -32,13 +40,106 @@ use ucnn_tensor::Tensor4;
 #[derive(Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Entry>>,
+    /// The engine-wide default backend, registered by [`Engine::start`]
+    /// (`None` until an engine adopts this registry). Inserts that fall
+    /// through the override and plan-preference tiers warm for this, so a
+    /// model deployed *after* start still serves its first request with no
+    /// lazy lowering in the execute phase.
+    ///
+    /// [`Engine::start`]: crate::engine::Engine::start
+    default_backend: RwLock<Option<BackendKind>>,
 }
 
 /// One registered model: the shared plan plus an optional per-model
-/// executor-backend override (engine-wide default applies when `None`).
+/// executor-backend override (engine-wide default applies when `None`) and
+/// the shared concurrency quota.
 struct Entry {
     plan: Arc<CompiledNetwork>,
     backend: Option<BackendKind>,
+    quota: Arc<ModelQuota>,
+}
+
+/// Per-model concurrency quota: an admission ceiling on requests in flight
+/// (queued or executing) for one tenant's model.
+///
+/// The quota is shared — the same `Arc` survives model hot-swaps, so
+/// in-flight [`QuotaToken`]s acquired against the old plan still count
+/// against (and release back to) the ceiling the new plan is admitted
+/// under. A limit of `None` (the default) admits everything while still
+/// tracking the active count.
+#[derive(Debug, Default)]
+pub struct ModelQuota {
+    /// 0 = unlimited; otherwise the admission ceiling.
+    limit: AtomicUsize,
+    /// Requests currently holding a [`QuotaToken`].
+    active: AtomicUsize,
+}
+
+impl ModelQuota {
+    /// Current admission ceiling (`None` = unlimited).
+    #[must_use]
+    pub fn limit(&self) -> Option<usize> {
+        match self.limit.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Requests currently in flight (queued or executing) under this quota.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn set_limit(&self, limit: Option<usize>) {
+        self.limit.store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Admits one request: returns a token that releases the slot on drop,
+    /// or `None` when the model is at its ceiling.
+    #[must_use]
+    pub fn try_acquire(self: &Arc<Self>) -> Option<QuotaToken> {
+        let limit = self.limit.load(Ordering::Relaxed);
+        let mut active = self.active.load(Ordering::Relaxed);
+        loop {
+            if limit != 0 && active >= limit {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                active,
+                active + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(QuotaToken(Arc::clone(self))),
+                Err(now) => active = now,
+            }
+        }
+    }
+}
+
+/// RAII admission slot under a [`ModelQuota`]: the slot is released when
+/// the token drops — on response delivery, on a deadline shed, and during
+/// a worker panic's unwind alike, so a quota can never leak capacity.
+#[derive(Debug)]
+pub struct QuotaToken(Arc<ModelQuota>);
+
+impl Drop for QuotaToken {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A model resolved for submission in one registry lock acquisition: the
+/// plan, the per-model backend override, and the shared quota handle.
+pub struct ResolvedModel {
+    /// The compiled plan to execute.
+    pub plan: Arc<CompiledNetwork>,
+    /// Per-model backend override (`None` = plan preference, then the
+    /// engine default).
+    pub backend: Option<BackendKind>,
+    /// The model's concurrency quota.
+    pub quota: Arc<ModelQuota>,
 }
 
 impl ModelRegistry {
@@ -60,31 +161,61 @@ impl ModelRegistry {
     ///
     /// The plan is **warmed** for the backend that will serve it (the
     /// surviving per-model override if any, else the plan's own
-    /// preference, else the engine-wide default's no-op): any lazily
-    /// derived execution state — the flattened backends' per-layer
-    /// lowering — is built here, at deploy time, so the first request after
-    /// an insert no longer pays lowering latency in its tail. Warming runs
-    /// outside the registry lock (plans synchronize their own `OnceLock`s),
-    /// so concurrent lookups are never blocked behind it.
+    /// preference, else the engine-wide default registered via
+    /// [`ModelRegistry::set_default_backend`]): any lazily derived
+    /// execution state — the flattened backends' per-layer lowering — is
+    /// built here, at deploy time, so the first request after an insert no
+    /// longer pays lowering latency in its tail, **including models
+    /// deployed after the engine started**. Warming runs outside the
+    /// registry lock (plans synchronize their own `OnceLock`s), so
+    /// concurrent lookups are never blocked behind it.
+    ///
+    /// A [`ModelQuota`] set on the old entry also survives (the same
+    /// shared quota, so in-flight tokens keep counting).
     pub fn insert(&self, model: CompiledNetwork) -> Arc<CompiledNetwork> {
         let arc = Arc::new(model);
         let backend = {
             let mut models = self.models.write().expect("registry poisoned");
-            let backend = models.get(arc.name()).and_then(|entry| entry.backend);
+            let previous = models.get(arc.name());
+            let backend = previous.and_then(|entry| entry.backend);
+            let quota = previous
+                .map(|entry| Arc::clone(&entry.quota))
+                .unwrap_or_default();
             models.insert(
                 arc.name().to_string(),
                 Entry {
                     plan: Arc::clone(&arc),
                     backend,
+                    quota,
                 },
             );
             backend
         };
         let effective = backend
             .or_else(|| arc.backend_preference())
+            .or_else(|| self.default_backend())
             .unwrap_or(CompiledNetwork::DEFAULT_BACKEND);
         arc.warm(effective);
         arc
+    }
+
+    /// Registers the engine-wide default backend — the third tier of
+    /// backend resolution — so inserts *after* [`Engine::start`] warm the
+    /// tier that will actually serve them. Called by the engine itself at
+    /// start; with several engines sharing one registry, the last started
+    /// wins (warming for the wrong tier is only a missed optimization,
+    /// never a correctness issue — every backend is bit-identical).
+    ///
+    /// [`Engine::start`]: crate::engine::Engine::start
+    pub fn set_default_backend(&self, backend: BackendKind) {
+        *self.default_backend.write().expect("registry poisoned") = Some(backend);
+    }
+
+    /// The engine-wide default backend registered with this registry, if
+    /// an engine has adopted it.
+    #[must_use]
+    pub fn default_backend(&self) -> Option<BackendKind> {
+        *self.default_backend.read().expect("registry poisoned")
     }
 
     /// Compiles `spec` with `weights` under `config` and registers it —
@@ -126,10 +257,11 @@ impl ModelRegistry {
     /// override. Returns `false` if no model of that name is registered.
     ///
     /// The override takes effect for requests submitted after the call;
-    /// every backend is bit-identical, so switching is always safe. When a
-    /// backend is set, the plan is warmed for it (outside the lock), so the
-    /// first request after an operator retune does not pay lazy-lowering
-    /// latency.
+    /// every backend is bit-identical, so switching is always safe. The
+    /// plan is warmed (outside the lock) for the tier that will now serve
+    /// it — the new override, or on `None` the plan preference / engine
+    /// default it falls back to — so the first request after an operator
+    /// retune does not pay lazy-lowering latency.
     pub fn set_backend(&self, name: &str, backend: Option<BackendKind>) -> bool {
         let plan = {
             match self
@@ -140,15 +272,59 @@ impl ModelRegistry {
             {
                 Some(entry) => {
                     entry.backend = backend;
-                    Some(Arc::clone(&entry.plan))
+                    Arc::clone(&entry.plan)
                 }
                 None => return false,
             }
         };
-        if let (Some(plan), Some(kind)) = (plan, backend) {
+        if let Some(kind) = backend
+            .or_else(|| plan.backend_preference())
+            .or_else(|| self.default_backend())
+        {
             plan.warm(kind);
         }
         true
+    }
+
+    /// Sets (or with `None` lifts) the model's concurrency ceiling.
+    /// Returns `false` if no model of that name is registered.
+    ///
+    /// Takes effect for the next admission decision; requests already in
+    /// flight are never evicted (a lowered ceiling simply stops admitting
+    /// until enough tokens drain).
+    pub fn set_quota(&self, name: &str, limit: Option<usize>) -> bool {
+        match self.models.read().expect("registry poisoned").get(name) {
+            Some(entry) => {
+                entry.quota.set_limit(limit);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The model's shared quota handle, if the model is registered.
+    #[must_use]
+    pub fn quota(&self, name: &str) -> Option<Arc<ModelQuota>> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .map(|entry| Arc::clone(&entry.quota))
+    }
+
+    /// Resolves everything submission needs — plan, backend override, and
+    /// quota handle — in a single read-lock acquisition.
+    #[must_use]
+    pub fn resolve(&self, name: &str) -> Option<ResolvedModel> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .map(|entry| ResolvedModel {
+                plan: Arc::clone(&entry.plan),
+                backend: entry.backend,
+                quota: Arc::clone(&entry.quota),
+            })
     }
 
     /// The per-model backend override, if any.
@@ -329,5 +505,113 @@ mod tests {
         assert!(registry.set_backend("tiny", None));
         assert_eq!(registry.backend_override("tiny"), None);
         assert!(registry.get_with_backend("missing").is_none());
+    }
+
+    #[test]
+    fn default_backend_warms_post_start_inserts_and_override_clears() {
+        use ucnn_core::backend::BackendKind;
+        use ucnn_core::plan::CompiledStage;
+
+        let flat_ready = |plan: &CompiledNetwork| {
+            plan.stages().iter().all(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.flat_ready(),
+                CompiledStage::Pool { .. } => true,
+            })
+        };
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 12, 0.9);
+
+        // Simulates Engine::start adopting the registry with a flattened
+        // default tier: an insert *afterwards* must warm that tier even
+        // with no override and no plan preference (satellite-1 gap).
+        registry.set_default_backend(BackendKind::FlattenedBatch);
+        assert_eq!(
+            registry.default_backend(),
+            Some(BackendKind::FlattenedBatch)
+        );
+        let plan = registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(
+            flat_ready(&plan),
+            "post-start insert must warm the engine-default tier"
+        );
+
+        // Clearing an override re-warms for the fallback tier.
+        let fresh = ModelRegistry::new();
+        let p2 = fresh.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(!flat_ready(&p2));
+        fresh.set_default_backend(BackendKind::Flattened);
+        assert!(fresh.set_backend("tiny", None));
+        assert!(
+            flat_ready(&p2),
+            "clearing an override must warm the fallback tier"
+        );
+    }
+
+    #[test]
+    fn quota_admits_releases_and_survives_reinsert() {
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let w1 = forward::generate_network_weights(&net, QuantScheme::inq(), 13, 0.9);
+        assert!(
+            !registry.set_quota("tiny", Some(1)),
+            "quota on an absent model must be rejected"
+        );
+        assert!(registry.quota("tiny").is_none());
+        registry.compile_and_insert(&net, &w1, &UcnnConfig::default());
+
+        // Unlimited by default: admits while tracking the active count.
+        let quota = registry.quota("tiny").unwrap();
+        assert_eq!(quota.limit(), None);
+        let t0 = quota.try_acquire().expect("unlimited must admit");
+        assert_eq!(quota.active(), 1);
+
+        // Ceiling of 2: one more admission fits, the third is rejected.
+        assert!(registry.set_quota("tiny", Some(2)));
+        assert_eq!(quota.limit(), Some(2));
+        let t1 = quota.try_acquire().expect("below ceiling");
+        assert!(quota.try_acquire().is_none(), "at ceiling");
+
+        // Hot-swap: the same quota (and its in-flight tokens) survives.
+        let w2 = forward::generate_network_weights(&net, QuantScheme::inq(), 14, 0.9);
+        registry.compile_and_insert(&net, &w2, &UcnnConfig::default());
+        let after = registry.quota("tiny").unwrap();
+        assert!(Arc::ptr_eq(&quota, &after), "quota must survive re-insert");
+        assert_eq!(after.limit(), Some(2));
+        assert_eq!(after.active(), 2);
+
+        // Dropping a token frees a slot.
+        drop(t0);
+        assert_eq!(after.active(), 1);
+        let t2 = after.try_acquire().expect("slot freed by drop");
+        drop(t1);
+        drop(t2);
+        assert_eq!(after.active(), 0);
+
+        // Lifting the ceiling returns to unlimited.
+        assert!(registry.set_quota("tiny", None));
+        assert_eq!(after.limit(), None);
+    }
+
+    #[test]
+    fn resolve_returns_plan_override_and_quota_in_one_call() {
+        use ucnn_core::backend::BackendKind;
+
+        let registry = ModelRegistry::new();
+        assert!(registry.resolve("tiny").is_none());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 15, 0.9);
+        let plan = registry.compile_and_insert(&net, &weights, &UcnnConfig::default());
+        registry.set_backend("tiny", Some(BackendKind::Batch));
+        registry.set_quota("tiny", Some(4));
+
+        let resolved = registry.resolve("tiny").unwrap();
+        assert!(Arc::ptr_eq(&resolved.plan, &plan));
+        assert_eq!(resolved.backend, Some(BackendKind::Batch));
+        assert_eq!(resolved.quota.limit(), Some(4));
+        assert!(Arc::ptr_eq(
+            &resolved.quota,
+            &registry.quota("tiny").unwrap()
+        ));
     }
 }

@@ -180,8 +180,7 @@ fn main() -> ExitCode {
                 requests,
                 shards: run_shards,
                 seed,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         print_report(&report);

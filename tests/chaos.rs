@@ -1,0 +1,329 @@
+//! Chaos suite: the serving engine under induced failure — a worker dying
+//! mid-batch, consumers that stop reading responses, the registry being
+//! churned (re-insert + backend retune) under sustained traffic, and
+//! shutdown while producers are blocked on a full queue. Every test
+//! asserts invariants (exact accounting, bit-exact outputs, no hangs)
+//! rather than timings, so the suite is deterministic in CI.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ucnn::core::backend::BackendKind;
+use ucnn::core::compile::UcnnConfig;
+use ucnn::model::{forward, networks, ActivationGen, NetworkSpec, QuantScheme};
+use ucnn::serve::harness::{self, Case, ModelCases, RunConfig};
+use ucnn::serve::workload::{Arrival, Mix, StandardWorkload};
+use ucnn::serve::{Engine, EngineConfig, ModelRegistry, ServeError};
+use ucnn::tensor::Tensor3;
+
+/// Registers `n` copies of the tiny topology under distinct names with
+/// distinct weights and returns verified cases for each. Weight seeds are
+/// `seed + i`, so a churn thread can regenerate bit-identical weights.
+fn zoo(registry: &Arc<ModelRegistry>, n: usize, seed: u64) -> Vec<ModelCases> {
+    let tiny = networks::tiny();
+    let mut agen = ActivationGen::new(seed ^ 0xACE);
+    (0..n)
+        .map(|i| {
+            let name = if i == 0 {
+                "tiny".to_string()
+            } else {
+                format!("tiny-{i}")
+            };
+            let mut spec = NetworkSpec::new(&name);
+            for layer in tiny.layers() {
+                spec.push(layer.clone());
+            }
+            let weights =
+                forward::generate_network_weights(&spec, QuantScheme::inq(), seed + i as u64, 0.9);
+            registry.compile_and_insert(&spec, &weights, &UcnnConfig::with_g(2));
+            let cases: Vec<Case> = (0..3)
+                .map(|_| {
+                    let input = agen.generate_for(&spec.conv_layers()[0]);
+                    let expected = forward::dense_forward(&spec, &weights, &input);
+                    (input, expected)
+                })
+                .collect();
+            ModelCases { name, cases }
+        })
+        .collect()
+}
+
+/// A worker dying to a panic must be *surfaced* (panicked-worker count and
+/// message in the stats) and *survived*: requests that land on the dead
+/// worker's shard are stolen by the survivors, so the fleet keeps
+/// completing everything bit-exactly on reduced capacity.
+#[test]
+fn worker_death_is_surfaced_and_traffic_reroutes_around_the_dead_shard() {
+    let registry = Arc::new(ModelRegistry::new());
+    let models = zoo(&registry, 2, 0x300);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Poison pill: a malformed input panics its worker mid-forward. The
+    // caller sees a lost worker, not a hang.
+    let plan = registry.get("tiny").expect("tiny registered");
+    let poison = engine
+        .submit_plan(plan, Tensor3::<i16>::zeros(1, 1, 1))
+        .expect("poison enqueues");
+    assert!(
+        matches!(poison.wait(), Err(ServeError::WorkerLost)),
+        "a panicked worker must drop the response channel"
+    );
+
+    // The engine keeps serving on the remaining workers: the dead shard
+    // still receives pushes (submit-time shard selection doesn't know the
+    // worker died), so completion of the full run proves stealing drains
+    // it.
+    let wl = StandardWorkload {
+        arrival: Arrival::Closed,
+        mix: Mix::Uniform,
+    };
+    let report = harness::run(
+        &engine,
+        &models,
+        &wl,
+        RunConfig {
+            requests: 80,
+            shards: 4,
+            seed: 0xC0C,
+            ..RunConfig::default()
+        },
+    );
+    assert_eq!(report.completed, 80, "lost requests after worker death");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.shed(), 0);
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.panicked_workers, 1, "exactly one worker died");
+    let msg = stats.panic_message.expect("panic message surfaced");
+    assert!(
+        msg.contains("input dims"),
+        "panic message must carry the cause, got: {msg}"
+    );
+    assert!(
+        stats.steals > 0,
+        "requests on the dead worker's shard can only complete via steals"
+    );
+    assert_eq!(stats.served, 80, "the poison request must not count");
+}
+
+/// Consumers that go away without reading their responses must not stall
+/// the engine: workers keep draining and the responses sit in their
+/// per-request channels until (if ever) collected.
+#[test]
+fn slow_consumers_never_stall_the_engine() {
+    let registry = Arc::new(ModelRegistry::new());
+    let models = zoo(&registry, 1, 0x350);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Submit a full wave and read *nothing* yet.
+    let cases = &models[0].cases;
+    let pendings: Vec<_> = (0..24)
+        .map(|i| {
+            let (input, _) = &cases[i % cases.len()];
+            engine
+                .submit("tiny", input.clone())
+                .expect("blocking submit succeeds")
+        })
+        .collect();
+
+    // The engine must serve the whole wave without anyone calling wait().
+    let drained_by = Instant::now() + Duration::from_secs(30);
+    while engine.stats().served < 24 {
+        assert!(
+            Instant::now() < drained_by,
+            "engine stalled behind slow consumers: served {}",
+            engine.stats().served
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // Late collection still observes every response, bit-exact.
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let resp = pending.wait().expect("response retained for late reader");
+        let (_, expected) = &cases[i % cases.len()];
+        assert_eq!(&resp.output, expected, "request {i} diverged");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.served, 24);
+    assert_eq!(stats.panicked_workers, 0);
+}
+
+/// Satellite: registry churn under load. While a closed-loop run is in
+/// flight, a churn thread re-inserts both models (same weights, fresh
+/// compile) and retunes the cold model's backend every couple of
+/// milliseconds. Requests already holding the old plan finish on it;
+/// every response stays bit-exact, nothing is lost, and the hot model's
+/// backend override survives every replacement.
+#[test]
+fn registry_churn_under_load_stays_bit_exact_and_keeps_the_override() {
+    let seed = 0x400u64;
+    let registry = Arc::new(ModelRegistry::new());
+    let models = zoo(&registry, 2, seed);
+    assert!(
+        registry.set_backend("tiny", Some(BackendKind::Flattened)),
+        "override target registered"
+    );
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = thread::spawn({
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        move || {
+            let tiny = networks::tiny();
+            let mut spins = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for (i, name) in ["tiny", "tiny-1"].iter().enumerate() {
+                    let mut spec = NetworkSpec::new(*name);
+                    for layer in tiny.layers() {
+                        spec.push(layer.clone());
+                    }
+                    // Same seed as `zoo` → bit-identical weights, so the
+                    // replacement plan must produce identical outputs.
+                    let weights = forward::generate_network_weights(
+                        &spec,
+                        QuantScheme::inq(),
+                        seed + i as u64,
+                        0.9,
+                    );
+                    registry.compile_and_insert(&spec, &weights, &UcnnConfig::with_g(2));
+                }
+                // Retune the cold model back and forth; every backend is
+                // bit-identical, so mismatches stay impossible by design.
+                let retune = if spins % 2 == 0 {
+                    BackendKind::Batch
+                } else {
+                    BackendKind::Compiled
+                };
+                registry.set_backend("tiny-1", Some(retune));
+                spins += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+            spins
+        }
+    });
+
+    let wl = StandardWorkload {
+        arrival: Arrival::Closed,
+        mix: Mix::HotCold { hot_share: 0.8 },
+    };
+    let report = harness::run(
+        &engine,
+        &models,
+        &wl,
+        RunConfig {
+            requests: 120,
+            shards: 3,
+            seed: 0x7A7,
+            ..RunConfig::default()
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    let spins = churn.join().expect("churn thread clean");
+    assert!(spins >= 1, "the registry must actually have churned");
+
+    assert_eq!(report.completed, 120, "churn lost requests");
+    assert_eq!(report.mismatches, 0, "churn broke bit-exactness");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.shed(), 0);
+    assert_eq!(
+        registry.backend_override("tiny"),
+        Some(BackendKind::Flattened),
+        "per-model override must survive every re-insert"
+    );
+    let stats = engine.shutdown();
+    assert_eq!(stats.served, 120);
+    assert_eq!(stats.panicked_workers, 0);
+}
+
+/// Shutdown while producers are blocked on a full queue: every accepted
+/// request resolves with a bit-exact response, every rejected submit gets
+/// a clean `ShuttingDown`, blocked producers are woken (the test would
+/// hang otherwise), and the served count equals exactly the accepted set.
+#[test]
+fn shutdown_under_backpressure_resolves_every_accepted_request() {
+    let registry = Arc::new(ModelRegistry::new());
+    let models = zoo(&registry, 1, 0x450);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+    ));
+
+    // Four producers push far more than the queue holds, so some are
+    // always parked in the blocking submit path when shutdown begins.
+    let cases = Arc::new(models[0].cases.clone());
+    let producers: Vec<_> = (0..4)
+        .map(|p| {
+            let engine = Arc::clone(&engine);
+            let cases = Arc::clone(&cases);
+            thread::spawn(move || {
+                let mut ok = Vec::new();
+                let mut rejected = 0u64;
+                for i in 0..25usize {
+                    let case = (p * 25 + i) % cases.len();
+                    match engine.submit("tiny", cases[case].0.clone()) {
+                        Ok(pending) => ok.push((case, pending)),
+                        Err(ServeError::ShuttingDown) => rejected += 1,
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                (ok, rejected)
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(10));
+    engine.begin_shutdown();
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for producer in producers {
+        let (ok, rej) = producer.join().expect("producer survived shutdown");
+        rejected += rej;
+        for (case, pending) in ok {
+            // Accepted before the close ⇒ drained and answered, even
+            // though the engine was already shutting down.
+            let resp = pending.wait().expect("accepted request must resolve");
+            assert_eq!(&resp.output, &cases[case].1, "diverged under shutdown");
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted + rejected, 100, "a submit vanished");
+
+    let engine = Arc::into_inner(engine).expect("sole owner after joins");
+    let stats = engine.shutdown();
+    assert_eq!(stats.served, accepted, "served ≠ accepted");
+    assert_eq!(stats.panicked_workers, 0);
+}

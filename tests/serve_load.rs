@@ -65,6 +65,7 @@ fn hot_cold_mixed_models_bit_exact_across_all_backends() {
                 max_batch: 4,
                 exec_threads: 1,
                 backend,
+                ..EngineConfig::default()
             },
         );
         let report = harness::run(
@@ -75,8 +76,7 @@ fn hot_cold_mixed_models_bit_exact_across_all_backends() {
                 requests: 30,
                 shards: 3,
                 seed: 0x5EED,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         assert_eq!(report.completed, 30, "backend {backend}: lost requests");
@@ -127,8 +127,7 @@ fn bursty_arrivals_account_for_every_request() {
             requests: 48,
             shards: 2,
             seed: 0xB0B,
-            max_lag: None,
-            interval: None,
+            ..RunConfig::default()
         },
     );
     assert_eq!(
@@ -172,8 +171,7 @@ fn queue_full_overload_sheds_without_losing_requests() {
             requests: 100,
             shards: 2,
             seed: 0xFADE,
-            max_lag: None,
-            interval: None,
+            ..RunConfig::default()
         },
     );
     assert_eq!(report.completed + report.shed() + report.errors, 100);
@@ -219,8 +217,7 @@ fn shutdown_under_backpressure_keeps_accounting_exact() {
                 requests: 400,
                 shards: 4,
                 seed: 0xD00D,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         )
     });
@@ -283,8 +280,7 @@ fn same_seed_replays_identical_request_streams() {
                 requests: 36,
                 shards: 2,
                 seed: 0xABBA,
-                max_lag: None,
-                interval: None,
+                ..RunConfig::default()
             },
         );
         let _ = engine.shutdown();
@@ -329,6 +325,7 @@ fn metrics_and_reuse_counters_reconcile_with_harness_accounting() {
                 max_batch: 4,
                 exec_threads: 1,
                 backend: BackendKind::BatchThreads,
+                ..EngineConfig::default()
             },
         );
         if counting {
@@ -342,8 +339,8 @@ fn metrics_and_reuse_counters_reconcile_with_harness_accounting() {
                 requests: 60,
                 shards: 2,
                 seed: 6,
-                max_lag: None,
                 interval: Some(Duration::from_millis(2)),
+                ..RunConfig::default()
             },
         );
         if counting {
