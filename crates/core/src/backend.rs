@@ -1,5 +1,6 @@
 //! Pluggable executor backends: one trait, six interchangeable inner-loop
-//! shapes over the same retained plans.
+//! shapes over the same retained plans, plus a cost-model dispatcher
+//! (`auto`) that picks among them per layer.
 //!
 //! Every UCNN execution strategy computes the *same* arithmetic as the dense
 //! convolution, only reordered around weight repetition (§III) — so an
@@ -19,6 +20,7 @@
 //! | [`BackendKind::BatchThreads`] | batch-major + scoped threads over filter bands × batch chunks | B ≥ 2, multiple cores |
 //! | [`BackendKind::Flattened`] | branch-free gathers + CSR prefix-difference groups | B = 1 latency, FC / unpadded shapes |
 //! | [`BackendKind::FlattenedBatch`] | flattened walk over batch-interleaved SIMD lanes | B ≥ 2; the serving throughput backend |
+//! | [`BackendKind::Auto`] | dispatches per layer × batch bucket to the measured winner ([`tune`](crate::tune)) | whenever a calibration exists; heuristic otherwise |
 //!
 //! New executors implement [`Backend`], get a [`BackendKind`] variant, and
 //! inherit the whole conformance suite for free.
@@ -52,11 +54,33 @@ pub enum BackendKind {
     /// chunk feeds up to [`LANE_WIDTH`](crate::flatten::LANE_WIDTH)
     /// contiguous image lanes the autovectorizer widens to SIMD.
     FlattenedBatch,
+    /// Cost-model dispatcher: delegates each layer to the
+    /// [`BackendKind::STATIC`] backend a
+    /// [`CalibrationTable`](crate::tune::CalibrationTable) elects for its
+    /// (shape, batch bucket), falling back to the deterministic heuristic
+    /// [`tune::fallback_choice`](crate::tune::fallback_choice) when
+    /// uncalibrated. Bit-identical to whichever backend it picks.
+    Auto,
 }
 
 impl BackendKind {
     /// Every registered backend, in registry order.
-    pub const ALL: [BackendKind; 6] = [
+    pub const ALL: [BackendKind; 7] = [
+        BackendKind::Factorized,
+        BackendKind::Compiled,
+        BackendKind::Batch,
+        BackendKind::BatchThreads,
+        BackendKind::Flattened,
+        BackendKind::FlattenedBatch,
+        BackendKind::Auto,
+    ];
+
+    /// The statically dispatchable backends — everything except
+    /// [`BackendKind::Auto`], which only chooses among these. This is the
+    /// set `repro tune` probes and a
+    /// [`CalibrationTable`](crate::tune::CalibrationTable) holds estimates
+    /// for; its order is the deterministic tie-break for elections.
+    pub const STATIC: [BackendKind; 6] = [
         BackendKind::Factorized,
         BackendKind::Compiled,
         BackendKind::Batch,
@@ -64,6 +88,17 @@ impl BackendKind {
         BackendKind::Flattened,
         BackendKind::FlattenedBatch,
     ];
+
+    /// Every accepted non-canonical spelling, mapped to its canonical
+    /// kind. This table is the **only** place aliases exist: [`parse`]
+    /// canonicalizes on entry, and everything downstream (metrics labels,
+    /// `BENCH_*` keys, `--backend` echoes) renders [`BackendKind::name`] —
+    /// so an alias can never leak into output. (Underscore spellings are
+    /// additionally accepted for every name.)
+    ///
+    /// [`parse`]: BackendKind::parse
+    pub const ALIASES: [(&'static str, BackendKind); 1] =
+        [("flattened-simd", BackendKind::FlattenedBatch)];
 
     /// Stable CLI/config name of the backend.
     #[must_use]
@@ -75,18 +110,24 @@ impl BackendKind {
             BackendKind::BatchThreads => "batch-threads",
             BackendKind::Flattened => "flattened",
             BackendKind::FlattenedBatch => "flattened-batch",
+            BackendKind::Auto => "auto",
         }
     }
 
-    /// Parses a [`BackendKind::name`] (also accepting `_` for `-`, and the
-    /// `flattened-simd` working name for [`BackendKind::FlattenedBatch`]).
+    /// Parses a [`BackendKind::name`] or any [`BackendKind::ALIASES`]
+    /// spelling (`_` is accepted for `-` throughout). Aliases canonicalize
+    /// here, at parse time — the returned kind's [`name`] is always the
+    /// canonical spelling, regardless of what the user typed.
+    ///
+    /// [`name`]: BackendKind::name
     #[must_use]
     pub fn parse(name: &str) -> Option<BackendKind> {
         let name = name.replace('_', "-");
-        if name == "flattened-simd" {
-            return Some(BackendKind::FlattenedBatch);
-        }
-        BackendKind::ALL.into_iter().find(|k| k.name() == name)
+        BackendKind::ALIASES
+            .into_iter()
+            .find(|(alias, _)| *alias == name)
+            .map(|(_, kind)| kind)
+            .or_else(|| BackendKind::ALL.into_iter().find(|k| k.name() == name))
     }
 }
 
@@ -349,6 +390,40 @@ impl Backend for FlattenedBatchBackend {
     }
 }
 
+struct AutoBackend;
+
+impl Backend for AutoBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Auto
+    }
+
+    /// Standalone (layer-level) `auto` has no calibration in scope, so it
+    /// delegates via the deterministic heuristic. The calibrated dispatch
+    /// lives in [`CompiledNetwork::forward_batch_with`]
+    /// (crate::plan::CompiledNetwork::forward_batch_with), which resolves
+    /// the table per layer before reaching the registry.
+    fn run_layer(
+        &self,
+        layer: &CompiledLayer,
+        inputs: &[Tensor3<i16>],
+        threads: usize,
+    ) -> Vec<Tensor3<i32>> {
+        backend(crate::tune::fallback_choice(inputs.len())).run_layer(layer, inputs, threads)
+    }
+
+    /// `auto` may dispatch to any static backend at any batch size, so it
+    /// warms all of them (which forces the flattened lowering).
+    fn warm(&self, layer: &CompiledLayer) {
+        for kind in BackendKind::STATIC {
+            backend(kind).warm(layer);
+        }
+    }
+
+    fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+        backend(crate::tune::fallback_choice(batch)).work(layer, batch, lowering_was_ready)
+    }
+}
+
 /// Resolves a [`BackendKind`] to its (stateless, `'static`) implementation.
 #[must_use]
 pub fn backend(kind: BackendKind) -> &'static dyn Backend {
@@ -359,6 +434,7 @@ pub fn backend(kind: BackendKind) -> &'static dyn Backend {
         BackendKind::BatchThreads => &BatchThreadsBackend,
         BackendKind::Flattened => &FlattenedBackend,
         BackendKind::FlattenedBatch => &FlattenedBatchBackend,
+        BackendKind::Auto => &AutoBackend,
     }
 }
 
@@ -393,13 +469,57 @@ mod tests {
             BackendKind::parse("flattened_batch"),
             Some(BackendKind::FlattenedBatch)
         );
-        // The working name from the design phase stays accepted.
-        assert_eq!(
-            BackendKind::parse("flattened-simd"),
-            Some(BackendKind::FlattenedBatch)
-        );
         assert!(BackendKind::parse("nope").is_none());
         assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn every_alias_canonicalizes_at_parse_time() {
+        // Regression: `flattened-simd` used to parse but render as
+        // `flattened-batch` only by accident of a special case buried in
+        // `parse`; metrics labels, BENCH_serve keys, and `--backend`
+        // echoes must agree no matter which accepted spelling was typed.
+        // Round-trip EVERY accepted spelling: canonical names, underscore
+        // variants, and the explicit alias table.
+        let mut spellings: Vec<(String, BackendKind)> = Vec::new();
+        for kind in BackendKind::ALL {
+            spellings.push((kind.name().to_string(), kind));
+            spellings.push((kind.name().replace('-', "_"), kind));
+        }
+        for (alias, kind) in BackendKind::ALIASES {
+            spellings.push((alias.to_string(), kind));
+            spellings.push((alias.replace('-', "_"), kind));
+        }
+        for (spelling, expected) in spellings {
+            let parsed =
+                BackendKind::parse(&spelling).unwrap_or_else(|| panic!("'{spelling}' must parse"));
+            assert_eq!(parsed, expected, "'{spelling}'");
+            // The canonical name always re-parses to the same kind, and
+            // Display renders it — no alias can survive a round trip.
+            assert_eq!(BackendKind::parse(parsed.name()), Some(parsed));
+            assert_eq!(parsed.to_string(), parsed.name(), "'{spelling}'");
+            assert!(
+                BackendKind::ALL.iter().any(|k| k.name() == parsed.name()),
+                "'{spelling}' canonicalized outside the registry"
+            );
+        }
+        assert_eq!(
+            BackendKind::parse("flattened-simd").unwrap().name(),
+            "flattened-batch",
+            "the design-phase working name canonicalizes to the registry name"
+        );
+    }
+
+    #[test]
+    fn static_set_is_all_minus_auto() {
+        assert!(!BackendKind::STATIC.contains(&BackendKind::Auto));
+        for kind in BackendKind::ALL {
+            assert_eq!(
+                BackendKind::STATIC.contains(&kind),
+                kind != BackendKind::Auto,
+                "{kind}"
+            );
+        }
     }
 
     #[test]
@@ -411,7 +531,12 @@ mod tests {
             let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
             assert!(!layer.flat_ready());
             backend(kind).warm(&layer);
-            let expects_flat = matches!(kind, BackendKind::Flattened | BackendKind::FlattenedBatch);
+            // `auto` may dispatch to a flattened backend, so warming it
+            // forces the lowering too.
+            let expects_flat = matches!(
+                kind,
+                BackendKind::Flattened | BackendKind::FlattenedBatch | BackendKind::Auto
+            );
             assert_eq!(layer.flat_ready(), expects_flat, "backend {kind}");
         }
     }

@@ -38,8 +38,14 @@
 //!   work is paid once per model and the hot path only walks streams
 //!   ([`exec::run_compiled`]).
 //! * [`backend`](mod@backend) — pluggable executor backends: one [`Backend`] trait over
-//!   six interchangeable, bit-identical inner-loop shapes, selected by
+//!   six interchangeable, bit-identical inner-loop shapes plus the
+//!   cost-model dispatcher [`BackendKind::Auto`], selected by
 //!   [`BackendKind`] end to end from the serving engine down.
+//! * [`tune`] — the cost model behind [`BackendKind::Auto`]: a
+//!   [`CalibrationTable`] of per-(layer shape × batch bucket) latency
+//!   estimates, filled by micro-probe ([`tune::calibrate_network`], the
+//!   `repro tune` subcommand) and re-tuned online from the execute path's
+//!   EWMA feedback behind a hysteresis election.
 //! * [`counters`] — the per-layer reuse-telemetry sink: an opt-in,
 //!   thread-sharded [`LayerWork`] tally (multiplies issued vs
 //!   dense-equivalent, gather entries, CSR segments, lowering-cache hits)
@@ -81,6 +87,7 @@ pub mod flatten;
 pub mod hierarchy;
 pub mod partial_product;
 pub mod plan;
+pub mod tune;
 
 pub use backend::{all_backends, backend, Backend, BackendKind};
 pub use compile::{LayerPlan, TileStats, UcnnConfig};
@@ -89,3 +96,4 @@ pub use factorize::{ActivationGroup, FilterFactorization};
 pub use flatten::{FlattenedScratch, FlattenedTile};
 pub use hierarchy::{GroupStream, StreamEntry};
 pub use plan::{CompiledLayer, CompiledNetwork, CompiledStage, CompiledTile};
+pub use tune::{CalRow, CalibrationTable, TuneOptions};

@@ -19,7 +19,8 @@
 //! [`CompiledNetwork::forward`] and stays bit-identical to the dense
 //! reference.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use ucnn_model::{reference, LayerKind, NetworkSpec, PoolKind};
 use ucnn_tensor::{ConvGeom, Tensor3, Tensor4};
@@ -28,6 +29,7 @@ use crate::backend::{backend, BackendKind};
 use crate::compile::{canonical_of_tensor, UcnnConfig};
 use crate::flatten::FlattenedTile;
 use crate::hierarchy::{GroupStream, ZERO_RANK};
+use crate::tune::{self, CalibrationTable};
 
 /// One retained work unit of a compiled layer: the stream for a group of
 /// `≤ G` filters over one channel tile, plus where it lands in the layer.
@@ -94,10 +96,13 @@ pub struct CompiledLayer {
     /// deployments that never select that backend pay neither the lowering
     /// work nor the extra resident memory.
     flat: OnceLock<Vec<FlattenedTile>>,
+    /// Cached calibration shape key ([`crate::tune::shape_key`]), formatted
+    /// on first use — the `auto` dispatch path borrows it per batch.
+    tune_key: OnceLock<String>,
 }
 
-/// `flat` is a pure function of the other fields, so equality ignores it
-/// (and `OnceLock` has no `PartialEq` anyway).
+/// `flat` and `tune_key` are pure functions of the other fields, so
+/// equality ignores them (and `OnceLock` has no `PartialEq` anyway).
 impl PartialEq for CompiledLayer {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
@@ -173,6 +178,7 @@ impl CompiledLayer {
             conv_groups,
             tiles,
             flat: OnceLock::new(),
+            tune_key: OnceLock::new(),
         }
     }
 
@@ -192,6 +198,14 @@ impl CompiledLayer {
     #[must_use]
     pub fn conv_groups(&self) -> usize {
         self.conv_groups
+    }
+
+    /// The layer's calibration shape key
+    /// ([`shape_key`](crate::tune::shape_key)), formatted once and cached.
+    #[must_use]
+    pub fn tune_key(&self) -> &str {
+        self.tune_key
+            .get_or_init(|| crate::tune::compute_shape_key(self))
     }
 
     /// The retained work units, in execution order.
@@ -306,7 +320,7 @@ pub enum CompiledStage {
 /// [`CompiledNetwork::forward`] follows the wiring rule of
 /// [`ucnn_model::forward::dense_forward`] (ReLU between weight layers, raw
 /// `i32` logits from the final layer) and is bit-identical to it.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CompiledNetwork {
     name: String,
     stages: Vec<CompiledStage>,
@@ -315,6 +329,24 @@ pub struct CompiledNetwork {
     /// / [`CompiledNetwork::with_backend`]; `None` until one is chosen, so
     /// callers (the serving engine) can tell "tuned" from "default".
     backend: Option<BackendKind>,
+    /// Cost model consulted when executing with [`BackendKind::Auto`]:
+    /// per-(layer shape × batch bucket) latency estimates and elected
+    /// winners. Shared (`Arc`) so clones of the plan — and every serving
+    /// worker — observe into and dispatch from the same live table.
+    calibration: Option<Arc<CalibrationTable>>,
+}
+
+/// Plan equality is over the compiled artifact (name, stages, input dims,
+/// backend preference). The attached calibration is *runtime* tuning state
+/// — live atomics updated by the execute path — and is excluded, exactly
+/// as [`CompiledLayer`]'s equality excludes its lazily derived lowering.
+impl PartialEq for CompiledNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.stages == other.stages
+            && self.input_dims == other.input_dims
+            && self.backend == other.backend
+    }
 }
 
 impl CompiledNetwork {
@@ -379,6 +411,7 @@ impl CompiledNetwork {
             stages,
             input_dims,
             backend: None,
+            calibration: None,
         }
     }
 
@@ -423,6 +456,35 @@ impl CompiledNetwork {
     /// backend is bit-identical, so this only changes performance.
     pub fn set_backend(&mut self, kind: BackendKind) {
         self.backend = Some(kind);
+    }
+
+    /// Builder-style variant of [`CompiledNetwork::set_calibration`].
+    #[must_use]
+    pub fn with_calibration(mut self, table: Arc<CalibrationTable>) -> Self {
+        self.calibration = Some(table);
+        self
+    }
+
+    /// Attaches the cost model [`BackendKind::Auto`] dispatches through:
+    /// per-(layer shape × batch bucket) estimates produced by
+    /// [`tune::calibrate_network`] (the `repro tune` probe) or rebuilt from
+    /// a checked-in `BENCH_tune.json` via
+    /// [`CalibrationTable::from_rows`](crate::tune::CalibrationTable::from_rows).
+    ///
+    /// Once attached, every `auto` execution also feeds its measured
+    /// per-image latency back into the table
+    /// ([`CalibrationTable::observe`](crate::tune::CalibrationTable::observe)),
+    /// so the elected winners keep tracking real traffic. Without a table,
+    /// `auto` uses the fixed heuristic
+    /// [`tune::fallback_choice`] and performs no timing.
+    pub fn set_calibration(&mut self, table: Arc<CalibrationTable>) {
+        self.calibration = Some(table);
+    }
+
+    /// The attached calibration table, if any.
+    #[must_use]
+    pub fn calibration(&self) -> Option<&Arc<CalibrationTable>> {
+        self.calibration.as_ref()
     }
 
     /// The compiled stages, in execution order.
@@ -548,7 +610,13 @@ impl CompiledNetwork {
         if inputs.is_empty() {
             return Vec::new();
         }
-        let exec = backend(kind);
+        // `auto` resolves its delegate per conv stage (below); the observe
+        // flag turns on the per-layer timing that feeds the table's online
+        // EWMA re-tune — only when there is a table to feed.
+        let auto_table: Option<&CalibrationTable> = match kind {
+            BackendKind::Auto => self.calibration.as_deref(),
+            _ => None,
+        };
         let last = self.stages.len() - 1;
         let mut acts: Vec<Tensor3<i16>> = inputs.to_vec();
         for (si, stage) in self.stages.iter().enumerate() {
@@ -560,19 +628,35 @@ impl CompiledNetwork {
                             .map(|a| ucnn_model::forward::flatten_for_fc(a, layer.geom().c()))
                             .collect();
                     }
+                    let exec = match kind {
+                        BackendKind::Auto => backend(
+                            auto_table
+                                .and_then(|t| t.choice_for(layer, acts.len()))
+                                .unwrap_or_else(|| tune::fallback_choice(acts.len())),
+                        ),
+                        k => backend(k),
+                    };
                     // Reuse telemetry: one gated load on the hot path; when
                     // enabled, the analytic per-call work is recorded after
                     // execution (so the flattened lowering, if this call
                     // built it, is available to account CSR segments) with
-                    // the lowering-cache state captured before.
+                    // the lowering-cache state captured before. Work is
+                    // labeled with the *requested* kind, so `auto` rows
+                    // tally under `auto` whichever delegate ran.
                     let counting = crate::counters::enabled();
                     let lowering_was_ready = counting && layer.flat_ready();
+                    let started = auto_table.map(|_| Instant::now());
                     let outs = exec.run_layer(layer, &acts, threads);
+                    if let (Some(t0), Some(table)) = (started, auto_table) {
+                        let per_image = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                            / acts.len() as u64;
+                        table.observe(layer, acts.len(), exec.kind(), per_image);
+                    }
                     if counting {
                         crate::counters::record(
                             &self.name,
                             name,
-                            exec.name(),
+                            kind.name(),
                             acts.len(),
                             &exec.work(layer, acts.len(), lowering_was_ready),
                         );

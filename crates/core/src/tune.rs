@@ -1,0 +1,640 @@
+//! Plan-time cost model behind [`BackendKind::Auto`]: measure once,
+//! dispatch per layer × batch bucket, re-tune online.
+//!
+//! `BENCH_backends.json` shows no single executor dominates — `flattened`
+//! wins B = 1 latency, `flattened-batch` wins batched FC shapes, `batch`
+//! takes padded conv at large B — so a static engine-wide backend leaves
+//! per-layer headroom on the table. This module closes that gap with a
+//! [`CalibrationTable`]: for every distinct layer *shape* (geometry ×
+//! tiling config, [`shape_key`]) and every power-of-two batch bucket
+//! ([`batch_bucket`]), the table holds one
+//! per-backend latency estimate and the currently elected winner.
+//!
+//! Three things feed it:
+//!
+//! 1. **Micro-probe calibration** ([`calibrate_network`], the `repro tune`
+//!    subcommand): a few timed `run_layer` calls per registered backend per
+//!    bucket, seeded via [`CalibrationTable::seed`]. Probes are
+//!    authoritative — they overwrite the estimate and re-elect without
+//!    hysteresis.
+//! 2. **Online EWMA feedback** ([`CalibrationTable::observe`]): every
+//!    `auto` execution through
+//!    [`CompiledNetwork::forward_batch_with`](crate::plan::CompiledNetwork::forward_batch_with)
+//!    folds its measured per-image nanoseconds into the executed backend's
+//!    estimate (α = 1/8, the same constant as the serving engine's
+//!    admission EWMA), so a backend that degrades under real traffic
+//!    (cache pressure, thread contention) loses its slot.
+//! 3. **Hysteresis election**: an incumbent is only unseated when its
+//!    estimate exceeds the challenger's by more than
+//!    [`HYSTERESIS_NUM`]/[`HYSTERESIS_DEN`] (12.5%), so measurement jitter
+//!    never flaps the choice batch to batch.
+//!
+//! Every backend is bit-identical, so whichever one the table elects only
+//! changes performance — `auto` stays exactly as correct as the dense
+//! reference. Ties break deterministically toward registry order
+//! ([`BackendKind::STATIC`]), and a (shape, bucket) the table has never
+//! seen falls back to the fixed heuristic [`fallback_choice`], so dispatch
+//! is deterministic even uncalibrated.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+use ucnn_tensor::Tensor3;
+
+use crate::backend::{backend, BackendKind};
+use crate::counters::batch_bucket;
+use crate::plan::{CompiledLayer, CompiledNetwork, CompiledStage};
+
+/// Number of static (dispatchable) backends a cell holds estimates for.
+const N_STATIC: usize = BackendKind::STATIC.len();
+
+/// Hysteresis threshold numerator: an incumbent survives until its
+/// estimate exceeds the best challenger's by more than
+/// `HYSTERESIS_NUM / HYSTERESIS_DEN` (12.5%).
+pub const HYSTERESIS_NUM: u64 = 1;
+/// Hysteresis threshold denominator. See [`HYSTERESIS_NUM`].
+pub const HYSTERESIS_DEN: u64 = 8;
+
+/// Batch buckets the full `repro tune` probe covers. Dispatch for an
+/// unprobed bucket clamps to the nearest probed one (largest probed
+/// bucket ≤ the request's, else the smallest probed bucket).
+pub const DEFAULT_BUCKETS: [usize; 4] = [1, 2, 4, 8];
+
+/// The deterministic choice `auto` makes for a (shape, bucket) the table
+/// has no cell for: `flattened` at B = 1 (the measured latency winner),
+/// `flattened-batch` otherwise (the measured batched-throughput winner).
+#[must_use]
+pub fn fallback_choice(batch: usize) -> BackendKind {
+    if batch <= 1 {
+        BackendKind::Flattened
+    } else {
+        BackendKind::FlattenedBatch
+    }
+}
+
+/// Stable identity of a layer *shape* for calibration purposes: geometry,
+/// conv grouping, and the tiling config (`G`, `Ct`) — everything that
+/// determines executor cost except the weight values themselves. Two
+/// layers with the same key share calibration (and models in a zoo with
+/// repeated topologies are probed once).
+///
+/// The formatted key is cached on the layer
+/// ([`CompiledLayer::tune_key`]); the dispatch path never re-formats it.
+#[must_use]
+pub fn shape_key(layer: &CompiledLayer) -> String {
+    layer.tune_key().to_string()
+}
+
+/// Formats the key [`CompiledLayer::tune_key`] caches.
+pub(crate) fn compute_shape_key(layer: &CompiledLayer) -> String {
+    let g = layer.geom();
+    format!(
+        "{}x{}x{}-k{}-r{}s{}-st{}-p{}-cg{}-g{}-ct{}",
+        g.in_w(),
+        g.in_h(),
+        g.c(),
+        g.k(),
+        g.r(),
+        g.s(),
+        g.stride(),
+        g.pad(),
+        layer.conv_groups(),
+        layer.config().g,
+        layer.config().ct,
+    )
+}
+
+fn static_index(kind: BackendKind) -> Option<usize> {
+    BackendKind::STATIC.iter().position(|k| *k == kind)
+}
+
+/// One (shape, bucket) cell: per-backend latency estimates (ns per image,
+/// 0 = never measured) plus the elected winner's [`BackendKind::STATIC`]
+/// index. All atomic, so observation and dispatch share cells across
+/// serving workers without a lock.
+struct Cell {
+    est_ns: [AtomicU64; N_STATIC],
+    choice: AtomicUsize,
+}
+
+impl Cell {
+    fn new(initial_choice: usize) -> Self {
+        Self {
+            est_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            choice: AtomicUsize::new(initial_choice),
+        }
+    }
+
+    fn estimates(&self) -> [u64; N_STATIC] {
+        std::array::from_fn(|i| self.est_ns[i].load(Ordering::Relaxed))
+    }
+
+    /// Index of the lowest measured estimate; ties break toward the lower
+    /// index (registry order), so elections are deterministic.
+    fn best(&self) -> Option<usize> {
+        self.estimates()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, est)| *est > 0)
+            .min_by_key(|(i, est)| (*est, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Re-elects after an observation: the incumbent keeps the slot until
+    /// its estimate exceeds the best challenger's by the hysteresis
+    /// margin. `authoritative` elections (probes) skip the margin.
+    fn elect(&self, authoritative: bool) {
+        let Some(best) = self.best() else { return };
+        let incumbent = self.choice.load(Ordering::Relaxed);
+        if best == incumbent {
+            return;
+        }
+        let ests = self.estimates();
+        let incumbent_est = ests.get(incumbent).copied().unwrap_or(0);
+        let threshold = ests[best] + ests[best] * HYSTERESIS_NUM / HYSTERESIS_DEN;
+        if authoritative || incumbent_est == 0 || incumbent_est > threshold {
+            self.choice.store(best, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One exported row of a [`CalibrationTable`] (see
+/// [`CalibrationTable::rows`]): the cell key, the elected winner, and the
+/// per-backend estimates in [`BackendKind::STATIC`] order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CalRow {
+    /// The [`shape_key`] of the calibrated layer shape.
+    pub shape: String,
+    /// Power-of-two batch bucket.
+    pub bucket: usize,
+    /// Currently elected backend for this cell.
+    pub choice: BackendKind,
+    /// Per-backend estimate in ns/image, [`BackendKind::STATIC`] order;
+    /// 0 = never measured.
+    pub est_ns: [u64; 6],
+}
+
+/// The per-(layer shape × batch bucket) cost model the `auto` backend
+/// dispatches through. `Send + Sync` with all-atomic cells, so one table
+/// rides an `Arc` on a [`CompiledNetwork`] shared by every serving worker.
+///
+/// # Examples
+///
+/// ```
+/// use ucnn_core::backend::BackendKind;
+/// use ucnn_core::compile::UcnnConfig;
+/// use ucnn_core::plan::CompiledLayer;
+/// use ucnn_core::tune::{shape_key, CalibrationTable};
+/// use ucnn_tensor::{ConvGeom, Tensor4};
+///
+/// let geom = ConvGeom::new(4, 4, 2, 2, 3, 3).with_pad(1);
+/// let w = Tensor4::from_fn(2, 2, 3, 3, |k, c, r, s| ((k + c + r + s) % 3) as i16 - 1);
+/// let layer = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(2));
+///
+/// let table = CalibrationTable::new();
+/// table.seed(&shape_key(&layer), 1, BackendKind::Batch, 500);
+/// assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Batch));
+/// ```
+#[derive(Default)]
+pub struct CalibrationTable {
+    // Nested by shape, then bucket, so the dispatch path can look a shape
+    // up by `&str` (no key allocation) and clamp the bucket with a range
+    // scan over the inner map.
+    cells: RwLock<BTreeMap<String, BTreeMap<usize, Cell>>>,
+}
+
+impl std::fmt::Debug for CalibrationTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalibrationTable")
+            .field("cells", &self.len())
+            .finish()
+    }
+}
+
+impl CalibrationTable {
+    /// Creates an empty table (every lookup falls back to
+    /// [`fallback_choice`] until something is seeded or observed).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (shape, bucket) cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells
+            .read()
+            .expect("calibration poisoned")
+            .values()
+            .map(BTreeMap::len)
+            .sum()
+    }
+
+    /// Whether the table holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a cell exists for exactly this (shape, bucket).
+    #[must_use]
+    pub fn has_cell(&self, shape: &str, bucket: usize) -> bool {
+        self.cells
+            .read()
+            .expect("calibration poisoned")
+            .get(shape)
+            .is_some_and(|buckets| buckets.contains_key(&bucket))
+    }
+
+    /// Authoritatively sets one backend's estimate for a (shape, bucket)
+    /// cell — the probe path. Overwrites any prior estimate and re-elects
+    /// without hysteresis (a fresh measurement beats a stale incumbent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a static backend ([`BackendKind::Auto`]
+    /// cannot estimate itself) or `est_ns == 0` (0 means "unmeasured").
+    pub fn seed(&self, shape: &str, bucket: usize, kind: BackendKind, est_ns: u64) {
+        let idx = static_index(kind).expect("cannot seed an estimate for the auto dispatcher");
+        assert!(est_ns > 0, "a zero estimate means unmeasured");
+        let mut cells = self.cells.write().expect("calibration poisoned");
+        let cell = cells
+            .entry(shape.to_string())
+            .or_default()
+            .entry(bucket)
+            .or_insert_with(|| Cell::new(idx));
+        cell.est_ns[idx].store(est_ns, Ordering::Relaxed);
+        cell.elect(true);
+    }
+
+    /// The backend the table elects for `layer` at `batch`, or `None` when
+    /// no cell covers the shape at all. An unprobed bucket clamps to the
+    /// nearest probed one: the largest probed bucket ≤ the request's
+    /// bucket, else the smallest probed bucket above it.
+    #[must_use]
+    pub fn choice_for(&self, layer: &CompiledLayer, batch: usize) -> Option<BackendKind> {
+        let bucket = batch_bucket(batch.max(1));
+        let cells = self.cells.read().expect("calibration poisoned");
+        // This sits on the `auto` dispatch path, once per layer per batch:
+        // the shape lookup borrows the layer's cached key (no allocation),
+        // and the bucket clamp is a range scan over the few probed buckets
+        // — the largest probed bucket ≤ the request, else the smallest.
+        let buckets = cells.get(layer.tune_key())?;
+        let cell = buckets
+            .range(..=bucket)
+            .next_back()
+            .map(|(_, c)| c)
+            .or_else(|| buckets.values().next())?;
+        Some(BackendKind::STATIC[cell.choice.load(Ordering::Relaxed)])
+    }
+
+    /// Folds one measured execution into the table — the online re-tune
+    /// path, fed by the `auto` dispatch inside
+    /// [`CompiledNetwork::forward_batch_with`](crate::plan::CompiledNetwork::forward_batch_with)
+    /// (the serving engine's execute phase). EWMA with α = 1/8, then a
+    /// hysteresis-gated re-election. Non-static kinds are ignored.
+    pub fn observe(
+        &self,
+        layer: &CompiledLayer,
+        batch: usize,
+        kind: BackendKind,
+        ns_per_image: u64,
+    ) {
+        let Some(idx) = static_index(kind) else {
+            return;
+        };
+        let sample = ns_per_image.max(1);
+        let bucket = batch_bucket(batch.max(1));
+        let fold = |cell: &Cell| {
+            let old = cell.est_ns[idx].load(Ordering::Relaxed);
+            let next = if old == 0 {
+                sample
+            } else {
+                old - old / 8 + sample / 8
+            };
+            cell.est_ns[idx].store(next.max(1), Ordering::Relaxed);
+            cell.elect(false);
+        };
+        let cells = self.cells.read().expect("calibration poisoned");
+        if let Some(cell) = cells.get(layer.tune_key()).and_then(|b| b.get(&bucket)) {
+            fold(cell);
+            return;
+        }
+        drop(cells);
+        // First observation of an uncalibrated (shape, bucket): create the
+        // cell with this sample, electing the observed backend.
+        let mut cells = self.cells.write().expect("calibration poisoned");
+        let cell = cells
+            .entry(layer.tune_key().to_string())
+            .or_default()
+            .entry(bucket)
+            .or_insert_with(|| Cell::new(idx));
+        fold(cell);
+    }
+
+    /// Every cell as an exported row (sorted by shape, then bucket) — the
+    /// serialization the `repro tune` subcommand writes as
+    /// `BENCH_tune.json`.
+    #[must_use]
+    pub fn rows(&self) -> Vec<CalRow> {
+        self.cells
+            .read()
+            .expect("calibration poisoned")
+            .iter()
+            .flat_map(|(shape, buckets)| {
+                buckets.iter().map(move |(bucket, cell)| CalRow {
+                    shape: shape.clone(),
+                    bucket: *bucket,
+                    choice: BackendKind::STATIC[cell.choice.load(Ordering::Relaxed)],
+                    est_ns: cell.estimates(),
+                })
+            })
+            .collect()
+    }
+
+    /// Rebuilds a table from exported rows (the inverse of
+    /// [`CalibrationTable::rows`], for loading a checked-in calibration).
+    #[must_use]
+    pub fn from_rows(rows: &[CalRow]) -> Self {
+        let table = Self::new();
+        for row in rows {
+            for (i, est) in row.est_ns.iter().enumerate() {
+                if *est > 0 {
+                    table.seed(&row.shape, row.bucket, BackendKind::STATIC[i], *est);
+                }
+            }
+            // Rows persist the election (which may differ from argmin by
+            // hysteresis); restore it over the seed re-election.
+            let cells = table.cells.read().expect("calibration poisoned");
+            if let Some(cell) = cells
+                .get(row.shape.as_str())
+                .and_then(|b| b.get(&row.bucket))
+            {
+                if let Some(idx) = static_index(row.choice) {
+                    cell.choice.store(idx, Ordering::Relaxed);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Deterministic synthetic activations for probing (timing only — probe
+/// outputs are discarded, so the values just need to be non-degenerate).
+fn probe_input(c: usize, w: usize, h: usize, salt: usize) -> Tensor3<i16> {
+    Tensor3::from_fn(c, w, h, |ci, x, y| {
+        ((ci * 31 + x * 17 + y * 13 + salt * 7) % 15) as i16 - 7
+    })
+}
+
+/// Options for [`calibrate_network`]: which batch buckets to probe and how
+/// many timed repetitions per (backend, bucket) measurement.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Batch buckets to probe (each becomes one cell per layer shape).
+    pub buckets: Vec<usize>,
+    /// Timed `run_layer` repetitions per measurement (one extra untimed
+    /// warm-up run always precedes them).
+    pub reps: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            buckets: DEFAULT_BUCKETS.to_vec(),
+            reps: 3,
+        }
+    }
+}
+
+/// Micro-probes every distinct conv-layer shape of `net` into `table`:
+/// for each shape × bucket not yet covered, every static backend is warmed
+/// and timed (`opts.reps` runs after one warm-up), and the per-image
+/// nanoseconds are seeded. Shapes already covered are skipped, so probing
+/// a zoo of repeated topologies pays per *distinct shape*, not per model.
+///
+/// # Panics
+///
+/// Panics if `opts.reps == 0` or any bucket is 0.
+pub fn calibrate_network(table: &CalibrationTable, net: &CompiledNetwork, opts: &TuneOptions) {
+    assert!(opts.reps > 0, "need at least one timed repetition");
+    for stage in net.stages() {
+        let CompiledStage::Conv { layer, .. } = stage else {
+            continue;
+        };
+        let key = shape_key(layer);
+        for &bucket in &opts.buckets {
+            assert!(bucket > 0, "batch buckets are positive");
+            if table.has_cell(&key, bucket) {
+                continue;
+            }
+            let geom = layer.geom();
+            let inputs: Vec<Tensor3<i16>> = (0..bucket)
+                .map(|i| probe_input(geom.c() * layer.conv_groups(), geom.in_w(), geom.in_h(), i))
+                .collect();
+            for kind in BackendKind::STATIC {
+                let exec = backend(kind);
+                exec.warm(layer);
+                std::hint::black_box(exec.run_layer(layer, &inputs, 2));
+                let start = Instant::now();
+                for _ in 0..opts.reps {
+                    std::hint::black_box(exec.run_layer(layer, &inputs, 2));
+                }
+                let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let per_image = (total / (opts.reps * bucket) as u64).max(1);
+                table.seed(&key, bucket, kind, per_image);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::UcnnConfig;
+    use ucnn_model::{forward, networks, QuantScheme};
+    use ucnn_tensor::{ConvGeom, Tensor4};
+
+    fn small_layer() -> CompiledLayer {
+        let geom = ConvGeom::new(5, 5, 3, 2, 3, 3).with_pad(1);
+        let w = Tensor4::from_fn(2, 3, 3, 3, |k, c, r, s| {
+            ((k + 2 * c + r + s) % 5) as i16 - 2
+        });
+        CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(2))
+    }
+
+    #[test]
+    fn shape_key_captures_geometry_and_tiling() {
+        let a = small_layer();
+        assert_eq!(
+            shape_key(&a),
+            shape_key(&small_layer()),
+            "same shape, same key"
+        );
+        let geom = ConvGeom::new(5, 5, 3, 2, 3, 3).with_pad(1);
+        let w = Tensor4::from_fn(2, 3, 3, 3, |_, _, _, _| 1i16);
+        let other_cfg = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(3));
+        assert_ne!(
+            shape_key(&a),
+            shape_key(&other_cfg),
+            "G is part of the shape"
+        );
+    }
+
+    #[test]
+    fn seed_elects_argmin_with_registry_order_tie_break() {
+        let layer = small_layer();
+        let key = shape_key(&layer);
+        let table = CalibrationTable::new();
+        assert_eq!(
+            table.choice_for(&layer, 1),
+            None,
+            "empty table has no choice"
+        );
+
+        table.seed(&key, 1, BackendKind::Batch, 300);
+        table.seed(&key, 1, BackendKind::Flattened, 100);
+        table.seed(&key, 1, BackendKind::Compiled, 100);
+        // Tie at 100ns: Compiled precedes Flattened in registry order.
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Compiled));
+
+        // A fresh probe is authoritative: no hysteresis on re-election.
+        table.seed(&key, 1, BackendKind::Flattened, 99);
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Flattened));
+    }
+
+    #[test]
+    fn unprobed_buckets_clamp_to_nearest_probed() {
+        let layer = small_layer();
+        let key = shape_key(&layer);
+        let table = CalibrationTable::new();
+        table.seed(&key, 2, BackendKind::Batch, 100);
+        table.seed(&key, 8, BackendKind::FlattenedBatch, 100);
+        // B=1 (bucket 1) is below every probed bucket: clamp up to 2.
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Batch));
+        // B=3 (bucket 4): clamp down to 2.
+        assert_eq!(table.choice_for(&layer, 3), Some(BackendKind::Batch));
+        // B=9 (bucket 16): clamp down to 8.
+        assert_eq!(
+            table.choice_for(&layer, 9),
+            Some(BackendKind::FlattenedBatch)
+        );
+        // Exact bucket hit.
+        assert_eq!(
+            table.choice_for(&layer, 8),
+            Some(BackendKind::FlattenedBatch)
+        );
+    }
+
+    #[test]
+    fn observe_applies_ewma_and_hysteresis() {
+        let layer = small_layer();
+        let key = shape_key(&layer);
+        let table = CalibrationTable::new();
+        table.seed(&key, 1, BackendKind::Flattened, 1000);
+        table.seed(&key, 1, BackendKind::Batch, 1100);
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Flattened));
+
+        // The incumbent degrades, but within the 12.5% hysteresis band the
+        // election must not flap: 1200 <= 1100 * 9/8 = 1237.
+        for _ in 0..64 {
+            table.observe(&layer, 1, BackendKind::Flattened, 1200);
+        }
+        assert_eq!(
+            table.choice_for(&layer, 1),
+            Some(BackendKind::Flattened),
+            "within the hysteresis band the incumbent keeps the slot"
+        );
+
+        // Past the band (EWMA converges toward 2000 > 1237), it loses it.
+        for _ in 0..64 {
+            table.observe(&layer, 1, BackendKind::Flattened, 2000);
+        }
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Batch));
+
+        // Observations of the auto dispatcher itself are ignored.
+        table.observe(&layer, 1, BackendKind::Auto, 1);
+        assert_eq!(table.choice_for(&layer, 1), Some(BackendKind::Batch));
+    }
+
+    #[test]
+    fn observe_creates_cells_for_unseen_shapes() {
+        let layer = small_layer();
+        let table = CalibrationTable::new();
+        assert!(table.is_empty());
+        table.observe(&layer, 3, BackendKind::FlattenedBatch, 700);
+        assert_eq!(table.len(), 1);
+        assert_eq!(
+            table.choice_for(&layer, 3),
+            Some(BackendKind::FlattenedBatch)
+        );
+        let rows = table.rows();
+        assert_eq!(rows[0].bucket, 4, "batch 3 lands in the 4 bucket");
+        assert_eq!(rows[0].choice, BackendKind::FlattenedBatch);
+    }
+
+    #[test]
+    fn rows_round_trip_through_from_rows() {
+        let layer = small_layer();
+        let key = shape_key(&layer);
+        let table = CalibrationTable::new();
+        table.seed(&key, 1, BackendKind::Flattened, 120);
+        table.seed(&key, 1, BackendKind::Batch, 500);
+        table.seed(&key, 8, BackendKind::FlattenedBatch, 80);
+        let rows = table.rows();
+        assert_eq!(rows.len(), 2);
+        let rebuilt = CalibrationTable::from_rows(&rows);
+        assert_eq!(rebuilt.rows(), rows, "rows must round trip exactly");
+        assert_eq!(rebuilt.choice_for(&layer, 1), Some(BackendKind::Flattened));
+    }
+
+    #[test]
+    fn calibrate_network_covers_every_shape_and_bucket_once() {
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 71, 0.85);
+        let plan = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        let shapes: std::collections::BTreeSet<String> = plan
+            .stages()
+            .iter()
+            .filter_map(|s| match s {
+                CompiledStage::Conv { layer, .. } => Some(shape_key(layer)),
+                CompiledStage::Pool { .. } => None,
+            })
+            .collect();
+        let opts = TuneOptions {
+            buckets: vec![1, 4],
+            reps: 1,
+        };
+        let table = CalibrationTable::new();
+        calibrate_network(&table, &plan, &opts);
+        assert_eq!(table.len(), shapes.len() * 2, "one cell per shape × bucket");
+        for row in table.rows() {
+            assert!(shapes.contains(&row.shape));
+            // Every static backend was probed: all six estimates measured.
+            assert!(
+                row.est_ns.iter().all(|e| *e > 0),
+                "unprobed estimate in {row:?}"
+            );
+        }
+        // A second model with the same topology adds nothing (dedup by
+        // shape key) — the zoo-probing contract.
+        let w2 = forward::generate_network_weights(&net, QuantScheme::inq(), 72, 0.85);
+        let plan2 = CompiledNetwork::compile(&net, &w2, &UcnnConfig::with_g(2));
+        calibrate_network(&table, &plan2, &opts);
+        assert_eq!(
+            table.len(),
+            shapes.len() * 2,
+            "repeated shapes are not re-probed"
+        );
+    }
+
+    #[test]
+    fn fallback_choice_is_deterministic() {
+        assert_eq!(fallback_choice(0), BackendKind::Flattened);
+        assert_eq!(fallback_choice(1), BackendKind::Flattened);
+        assert_eq!(fallback_choice(2), BackendKind::FlattenedBatch);
+        assert_eq!(fallback_choice(16), BackendKind::FlattenedBatch);
+    }
+}

@@ -530,21 +530,11 @@ impl Engine {
         // *after* start for the tier that will actually serve them — the
         // gap that used to put lazy-lowering latency in the first
         // post-deploy request's tail.
+        // `set_default_backend` also warms every already-resident plan for
+        // the tier that will now serve it, so plans inserted before this
+        // engine adopted the registry have their lazy lowering built here,
+        // before the first request.
         registry.set_default_backend(config.backend);
-        // Warm every already-registered plan for the backend that will
-        // serve it: plans inserted before this engine adopted the registry
-        // may have fallen through to a default the registry did not know
-        // yet (e.g. `EngineConfig { backend: FlattenedBatch, .. }` with
-        // plain plans), so their lazy lowering is built here, before the
-        // first request.
-        for name in registry.names() {
-            if let Some((plan, override_kind)) = registry.get_with_backend(&name) {
-                let kind = override_kind
-                    .or_else(|| plan.backend_preference())
-                    .unwrap_or(config.backend);
-                plan.warm(kind);
-            }
-        }
         // `queue_shards: 0` = one shard per worker (the sharded default);
         // an explicit count caps it (never above the worker count — extra
         // shards would have no owner and live off steals alone).
@@ -642,12 +632,18 @@ impl Engine {
     /// Deadline admission control for the open-loop submit path: predicts
     /// this request's completion from the current queue depth and the EWMA
     /// per-request service time, and rejects when the deadline cannot be
-    /// met. With no estimate yet (a cold engine) only already-expired
-    /// deadlines are rejected.
+    /// met. With no estimate yet (a cold engine) a request is admitted
+    /// only when nothing is queued ahead of it — it then starts
+    /// immediately and the only unknown is its own service time.
     fn admit_deadline(&self, deadline: Instant, now: Instant) -> Result<(), ServeError> {
         let est = self.counters.service_est_ns.load(Ordering::Relaxed);
         let admitted = if est == 0 {
-            now < deadline
+            // Regression (satellite 2): a zero EWMA used to predict zero
+            // queue delay, admitting unmeetable deadlines behind an
+            // arbitrary backlog — they were then shed at drain instead of
+            // rejected at submit. Until the first batch seeds the
+            // estimate, only an empty queue is a safe bet.
+            self.queue.is_empty() && now < deadline
         } else {
             let depth = self.queue.len() as u64;
             // Queued work drains across the pool; the request then pays
@@ -1282,6 +1278,91 @@ mod tests {
     }
 
     #[test]
+    fn auto_backend_serves_bit_exact_and_retunes_online() {
+        use ucnn_core::tune::{shape_key, CalibrationTable};
+        use ucnn_core::CompiledStage;
+
+        // A calibration that deliberately pins the slowest backend
+        // (factorized, estimated at a fantasy 1ns) on every layer: serving
+        // through `auto` must still be bit-exact, and the execute path's
+        // per-layer timing must feed real latencies back into the table
+        // (the online re-tune), replacing the fantasy estimate.
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 61, 0.9);
+        let plan = CompiledNetwork::compile(&net, &weights, &UcnnConfig::with_g(2));
+        let shapes: Vec<String> = plan
+            .stages()
+            .iter()
+            .filter_map(|s| match s {
+                CompiledStage::Conv { layer, .. } => Some(shape_key(layer)),
+                CompiledStage::Pool { .. } => None,
+            })
+            .collect();
+        let table = Arc::new(CalibrationTable::new());
+        for shape in &shapes {
+            table.seed(shape, 1, BackendKind::Factorized, 1);
+        }
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert(plan.with_calibration(Arc::clone(&table)));
+
+        let mut agen = ActivationGen::new(62);
+        let cases: Vec<_> = (0..3)
+            .map(|_| {
+                let input = agen.generate_for(&net.conv_layers()[0]);
+                let expected = forward::dense_forward(&net, &weights, &input);
+                (input, expected)
+            })
+            .collect();
+        let engine = Engine::start(
+            Arc::clone(&registry),
+            EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                backend: BackendKind::Auto,
+                ..EngineConfig::default()
+            },
+        );
+        for (i, (input, expected)) in cases.iter().enumerate() {
+            let resp = engine
+                .submit("tiny", input.clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(&resp.output, expected, "auto request {i}");
+        }
+        // Factorized stayed elected (no other backend has an estimate),
+        // but its estimate now reflects measured reality, not the seed.
+        let plan = registry.get("tiny").unwrap();
+        for row in plan.calibration().unwrap().rows() {
+            assert_eq!(row.choice, BackendKind::Factorized);
+            let fact_idx = BackendKind::STATIC
+                .iter()
+                .position(|k| *k == BackendKind::Factorized)
+                .unwrap();
+            assert!(
+                row.est_ns[fact_idx] > 1,
+                "online feedback must replace the fantasy estimate: {row:?}"
+            );
+        }
+        // An authoritative probe of a cheaper backend re-elects it, and
+        // the next requests (dispatched through the new winner) stay
+        // bit-exact.
+        for shape in &shapes {
+            table.seed(shape, 1, BackendKind::Flattened, 1);
+        }
+        for (input, expected) in &cases {
+            let resp = engine
+                .submit("tiny", input.clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(&resp.output, expected);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.served, 6);
+    }
+
+    #[test]
     fn engine_start_warms_plans_for_its_default_backend() {
         use ucnn_core::plan::CompiledStage;
 
@@ -1525,6 +1606,57 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.deadline_rejected, 1);
         assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn cold_admission_rejects_deadlines_behind_a_backlog() {
+        // Regression (satellite 2): with no service sample yet (EWMA = 0)
+        // admission used to predict zero queue delay and admit any future
+        // deadline regardless of backlog — the request was then shed at
+        // drain instead of rejected at submit. Build an engine shell with
+        // no workers, so the queue holds whatever we push and the EWMA
+        // stays at its cold-start zero.
+        let registry = Arc::new(ModelRegistry::new());
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 53, 0.9);
+        registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        let metrics = Arc::new(MetricsRegistry::new(1));
+        let handles = EngineMetrics::resolve(&metrics);
+        let engine = Engine {
+            registry,
+            queue: Arc::new(ShardedQueue::new(1, 8)),
+            counters: Arc::new(Counters::new(4)),
+            workers: Vec::new(),
+            worker_count: 1,
+            backend: BackendKind::BatchThreads,
+            metrics,
+            handles,
+        };
+        assert_eq!(engine.counters.service_est_ns.load(Ordering::Relaxed), 0);
+        let mut agen = ActivationGen::new(54);
+        let input = agen.generate_for(&net.conv_layers()[0]);
+        let far = Instant::now() + Duration::from_secs(60);
+
+        // Cold + empty queue: the request would start immediately, so a
+        // future deadline is admitted.
+        let _first = engine
+            .try_submit_with_deadline("tiny", input.clone(), far)
+            .expect("cold admission with an empty queue must admit");
+        assert_eq!(engine.queue.len(), 1);
+
+        // Cold + backlog: no basis for estimating the queue delay, so the
+        // request must be rejected at the door (this admitted before the
+        // fix).
+        let err = engine
+            .try_submit_with_deadline("tiny", input, far)
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert_eq!(
+            engine.counters.deadline_rejected.load(Ordering::Relaxed),
+            1,
+            "the rejection must be counted at the door"
+        );
+        assert_eq!(engine.queue.len(), 1, "the rejected request never enqueued");
     }
 
     #[test]

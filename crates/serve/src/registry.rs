@@ -206,9 +206,31 @@ impl ModelRegistry {
     /// wins (warming for the wrong tier is only a missed optimization,
     /// never a correctness issue — every backend is bit-identical).
     ///
+    /// Every **already-resident** plan is warmed here too, for the tier
+    /// that will now serve it (its override, else its own preference, else
+    /// the new default). Flipping the default under sustained traffic —
+    /// the hot-swap path the churn suite exercises — used to leave
+    /// resident plans cold, so the first post-flip request ate the
+    /// flattened-lowering tail. Warming runs outside the registry lock
+    /// (plans synchronize their own `OnceLock`s), so concurrent lookups
+    /// are never blocked behind it.
+    ///
     /// [`Engine::start`]: crate::engine::Engine::start
     pub fn set_default_backend(&self, backend: BackendKind) {
         *self.default_backend.write().expect("registry poisoned") = Some(backend);
+        let resident: Vec<(Arc<CompiledNetwork>, Option<BackendKind>)> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|entry| (Arc::clone(&entry.plan), entry.backend))
+            .collect();
+        for (plan, override_kind) in resident {
+            let effective = override_kind
+                .or_else(|| plan.backend_preference())
+                .unwrap_or(backend);
+            plan.warm(effective);
+        }
     }
 
     /// The engine-wide default backend registered with this registry, if
@@ -545,6 +567,50 @@ mod tests {
         assert!(
             flat_ready(&p2),
             "clearing an override must warm the fallback tier"
+        );
+    }
+
+    #[test]
+    fn set_default_backend_warms_already_resident_plans() {
+        use ucnn_core::backend::BackendKind;
+        use ucnn_core::plan::CompiledStage;
+
+        let flat_ready = |plan: &CompiledNetwork| {
+            plan.stages().iter().all(|s| match s {
+                CompiledStage::Conv { layer, .. } => layer.flat_ready(),
+                CompiledStage::Pool { .. } => true,
+            })
+        };
+        let registry = ModelRegistry::new();
+        let net = networks::tiny();
+        let weights = forward::generate_network_weights(&net, QuantScheme::inq(), 12, 0.9);
+
+        // Regression (satellite 1): a plan resident *before* the default
+        // flips used to stay cold — only insert/set_backend warmed — so
+        // the first request after a live default hot-swap ate the
+        // flattened-lowering tail. The flip itself must warm it.
+        let plan = registry.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(
+            !flat_ready(&plan),
+            "no flattened tier in play yet: the lowering must still be lazy"
+        );
+        registry.set_default_backend(BackendKind::FlattenedBatch);
+        assert!(
+            flat_ready(&plan),
+            "flipping the engine default must warm already-resident plans"
+        );
+
+        // A resident per-model override outranks the new default: the flip
+        // warms the override's tier (here also flattened), and never
+        // un-warms anything — warming is idempotent and additive.
+        let fresh = ModelRegistry::new();
+        let p2 = fresh.compile_and_insert(&net, &weights, &UcnnConfig::with_g(2));
+        assert!(fresh.set_backend("tiny", Some(BackendKind::Flattened)));
+        assert!(flat_ready(&p2), "setting an override warms its tier");
+        fresh.set_default_backend(BackendKind::Batch);
+        assert!(
+            flat_ready(&p2),
+            "a default flip must not disturb an override's warmed state"
         );
     }
 

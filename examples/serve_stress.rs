@@ -17,10 +17,10 @@
 //! * `--threads N` — scoped exec threads inside each batched forward
 //!   (default 1).
 //! * `--backend NAME` — executor backend (`factorized`, `compiled`,
-//!   `batch`, `batch-threads`, `flattened`, `flattened-batch`; default
-//!   `batch-threads`). Every backend is bit-identical, so this only
-//!   changes performance — the CI backend matrix drives this flag across
-//!   all six.
+//!   `batch`, `batch-threads`, `flattened`, `flattened-batch`, or the
+//!   cost-model dispatcher `auto`; default `batch-threads`). Every
+//!   backend is bit-identical, so this only changes performance — the CI
+//!   backend matrix drives this flag across all seven.
 //! * `--workload NAME` — run one arrival process (`closed`, `open`,
 //!   `bursty`, `ramp`) instead of the default closed + open + bursty sweep.
 //! * `--mix NAME` — model mix (`uniform`, `hotcold`, `sequential`;
