@@ -1323,130 +1323,263 @@ pub fn batch_exec(quick: bool) -> TableOut {
 }
 
 /// Executor backend comparison: every registered backend on FC- and
-/// conv-shaped layers across batch sizes — per-image time and speedup vs
-/// the scalar `compiled` walk. Outputs are asserted bit-identical across
-/// backends per cell, so the table doubles as an end-to-end conformance
-/// run. Two acceptance bars live here: `flattened` at B = 1 on the FC
-/// shape must beat `compiled` by ≥ 1.3× (~3–4× in practice), and
-/// `flattened-batch` at B = 8 on the FC shape must beat `flattened` by
-/// ≥ 2× (~4× in practice — the batch-interleaved SIMD lanes amortize one
-/// indirection walk across eight images). `repro backends` writes these
-/// rows as machine-readable `BENCH_backends.json` for the perf trajectory.
+/// conv-shaped layers (plus an i8 ternary-alphabet zoo entry) across batch
+/// sizes — per-image time and speedup vs the scalar `compiled` walk.
+/// Outputs are asserted bit-identical across backends per cell, so the
+/// table doubles as an end-to-end conformance run. `repro backends` writes
+/// these rows as machine-readable `BENCH_backends.json` for the perf
+/// trajectory.
 ///
-/// Each cell also carries an `auto` row: the static backends are timed
-/// first, their measurements seed a [`CalibrationTable`] cell, and `auto`
-/// is then timed dispatching through that cell — so the timed loop pays
-/// auto's real lookup overhead, and the row shows what the cost-model
-/// dispatcher actually delivers against the per-cell best.
+/// Beyond the seven registered backends, each cell carries the explicit
+/// SIMD variants: one `flattened-batch@<tier>` row per ISA tier the CPU
+/// supports (the same tier-pinned candidates the `auto` cost model elects
+/// over), and — on power-of-two-alphabet layers — one
+/// `flattened-batch@<tier>-mult` row per tier with the shift-add quantized
+/// path forced off, so the shift-vs-multiply win is measured at equal
+/// width. The `simd_tier` column reports the exact kernel each row ran
+/// (`avx512+shift`, `scalar+mult`, `-` for non-flattened backends).
+///
+/// Three acceptance bars live on the full run: `flattened` at B = 1 on the
+/// FC shape must beat `compiled` by ≥ 1.3×, `flattened-batch` at B = 8 on
+/// the FC shape must beat `flattened` by ≥ 2×, and the widest explicit
+/// tier must beat the forced-`scalar` (autovectorized 8-lane) path on at
+/// least one B ≥ 8 cell.
+///
+/// Each cell also carries an `auto` row: every candidate is timed first,
+/// its measurement seeds a [`CalibrationTable`] cell, and `auto` is then
+/// timed dispatching through that cell — so the timed loop pays auto's
+/// real lookup overhead, and the row shows what the cost-model dispatcher
+/// actually delivers against the per-cell best.
 ///
 /// [`CalibrationTable`]: ucnn_core::tune::CalibrationTable
 #[must_use]
 pub fn backend_table(quick: bool) -> TableOut {
     use std::time::Instant;
     use ucnn_core::counters::batch_bucket;
+    use ucnn_core::flatten::run_flattened_batch_interleaved_forced;
     use ucnn_core::plan::CompiledLayer;
-    use ucnn_core::tune::{shape_key, CalibrationTable};
+    use ucnn_core::simd::{electable_tiers, KernelSel};
+    use ucnn_core::tune::{shape_key, CalibrationTable, Candidate};
     use ucnn_model::ActivationGen;
     use ucnn_tensor::{ConvGeom, Tensor3};
 
+    type Runner<'a> = Box<dyn Fn(&[Tensor3<i16>]) -> Vec<Tensor3<i32>> + 'a>;
+
     let (fc_c, conv_c, repeats) = if quick { (512, 16, 3) } else { (1024, 64, 30) };
-    let batches: &[usize] = if quick { &[1, 8] } else { &[1, 2, 8, 16] };
+    let batches: &[usize] = if quick { &[1, 8] } else { &[1, 2, 8, 16, 32] };
     let layers = [
-        ("fc 1x1", ConvGeom::new(1, 1, fc_c, 32, 1, 1)),
+        (
+            "fc 1x1",
+            ConvGeom::new(1, 1, fc_c, 32, 1, 1),
+            QuantScheme::inq(),
+            2,
+        ),
         (
             "conv 7x7",
             ConvGeom::new(7, 7, conv_c, 16, 3, 3).with_pad(1),
+            QuantScheme::inq(),
+            2,
+        ),
+        // The i8-alphabet zoo entry: ternary TTQ weights (alphabet {±64})
+        // drive the shift-add quantized path, and G = 8 deepens the
+        // shared-partial hierarchy so phase 2 — the per-segment
+        // multiply/shift loop the quantized kernel replaces — carries the
+        // dominant share of the runtime (each of the 8 levels walks its own
+        // segment list against one shared prefix array).
+        (
+            "fc ttq i8",
+            ConvGeom::new(1, 1, fc_c, 32, 1, 1),
+            QuantScheme::ttq(),
+            8,
         ),
     ];
-    let cfg = UcnnConfig::with_g(2);
 
     let mut t = TableOut::new(
         "Executor backends: per-image time (2 exec threads where supported)",
-        &["layer", "batch", "backend", "per_image_us", "x_vs_compiled"],
+        &[
+            "layer",
+            "batch",
+            "backend",
+            "simd_tier",
+            "per_image_us",
+            "x_vs_compiled",
+        ],
     );
-    for (name, geom) in layers {
-        let mut wgen = WeightGen::new(QuantScheme::inq(), SEED ^ 0xBA).with_density(0.9);
+    for (name, geom, scheme, g) in layers {
+        let cfg = UcnnConfig::with_g(g);
+        let mut wgen = WeightGen::new(scheme, SEED ^ 0xBA).with_density(0.9);
         let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
         let plan = CompiledLayer::compile(&geom, 1, &weights, &cfg);
+        let sel = plan.kernel_sel().clamped();
+        let pow2 = plan
+            .flat_tiles()
+            .iter()
+            .all(ucnn_core::flatten::FlattenedTile::pow2_alphabet);
         let mut agen = ActivationGen::new(SEED ^ 0xBB);
         for &b in batches {
+            // Shadow the plan as a shared borrow so the `move` runners
+            // capture the (Copy) reference, not the plan itself.
+            let plan = &plan;
             let inputs: Vec<Tensor3<i16>> = (0..b)
                 .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
                 .collect();
-            let expected: Vec<_> = inputs.iter().map(|i| run_compiled(&plan, i)).collect();
-            // Correctness plus a short seeding pass: every static backend
-            // must agree bit for bit, and its min-of-a-few-runs seeds the
-            // calibration cell the `auto` dispatcher will consult below.
-            let table = CalibrationTable::new();
-            let key = shape_key(&plan);
-            let bucket = batch_bucket(b);
+            let expected: Vec<_> = inputs.iter().map(|i| run_compiled(plan, i)).collect();
+            // The measured variants: the six static backends, one
+            // tier-pinned flattened-batch per available ISA tier, and (on
+            // pow2 alphabets) one forced-multiply twin per tier. Each
+            // entry is (backend column, simd_tier column, runner, the
+            // candidate it seeds — `None` for bench-only variants the
+            // dispatcher can't elect).
+            let mut variants: Vec<(String, String, Runner<'_>, Option<Candidate>)> = Vec::new();
             for kind in BackendKind::STATIC {
-                let exec = backend(kind);
-                assert_eq!(
-                    exec.run_layer(&plan, &inputs, 2),
-                    expected,
-                    "backend {kind} diverged on {name} B={b}"
-                );
-                let mut best = f64::INFINITY;
-                for _ in 0..repeats.min(5) {
-                    let start = Instant::now();
-                    std::hint::black_box(exec.run_layer(&plan, &inputs, 2));
-                    best = best.min(start.elapsed().as_secs_f64());
-                }
-                let seed_ns = (best * 1e9 / b as f64).max(1.0) as u64;
-                table.seed(&key, bucket, kind, seed_ns);
+                let tier_label = match kind {
+                    BackendKind::Flattened | BackendKind::FlattenedBatch => sel.label(),
+                    _ => "-".to_string(),
+                };
+                variants.push((
+                    kind.name().to_string(),
+                    tier_label,
+                    Box::new(move |ins| backend(kind).run_layer(plan, ins, 2)),
+                    Some(Candidate::plain(kind)),
+                ));
             }
-            let elected = table.choice_for(&plan, b).expect("cell was just seeded");
+            for &tier in electable_tiers() {
+                let pinned = Candidate {
+                    kind: BackendKind::FlattenedBatch,
+                    tier: Some(tier),
+                };
+                let forced = plan.kernel_sel().with_tier(tier);
+                variants.push((
+                    pinned.name(),
+                    forced.label(),
+                    Box::new(move |ins| {
+                        run_flattened_batch_interleaved_forced(plan, ins, 2, forced)
+                    }),
+                    Some(pinned),
+                ));
+                if pow2 {
+                    // Shift-vs-multiply at equal width: same tier, the
+                    // phase-2 mode the plan did *not* elect forced on. The
+                    // suffix names the twin's own mode, so a layer whose
+                    // run-length heuristic picked multiply gets a `-shift`
+                    // twin and vice versa.
+                    let twin = KernelSel {
+                        tier,
+                        shift_add: !sel.shift_add,
+                    };
+                    let suffix = if twin.shift_add { "shift" } else { "mult" };
+                    variants.push((
+                        format!("flattened-batch@{}-{suffix}", tier.name()),
+                        twin.label(),
+                        Box::new(move |ins| {
+                            run_flattened_batch_interleaved_forced(plan, ins, 2, twin)
+                        }),
+                        None,
+                    ));
+                }
+            }
+            // Correctness plus the initial calibration seed: every variant
+            // must agree bit for bit, and its (timed) correctness run gives
+            // the cell a first estimate so `auto` can elect from round one.
+            let table = CalibrationTable::new();
+            let key = shape_key(plan);
+            let bucket = batch_bucket(b);
+            let mut mins = vec![f64::INFINITY; variants.len()];
+            for (i, (label, _, run, seeds)) in variants.iter().enumerate() {
+                let start = Instant::now();
+                let got = run(&inputs);
+                mins[i] = start.elapsed().as_secs_f64();
+                assert_eq!(&got, &expected, "backend {label} diverged on {name} B={b}");
+                if let Some(cand) = seeds {
+                    let seed_ns = (mins[i] * 1e9 / b as f64).max(1.0) as u64;
+                    table.seed_candidate(&key, bucket, *cand, seed_ns);
+                }
+            }
+            let run_auto = |ins: &[Tensor3<i16>]| {
+                let cand = table.candidate_for(plan, b).expect("cell was just seeded");
+                match cand.tier {
+                    Some(tier) => run_flattened_batch_interleaved_forced(
+                        plan,
+                        ins,
+                        2,
+                        plan.kernel_sel().with_tier(tier),
+                    ),
+                    None => backend(cand.kind).run_layer(plan, ins, 2),
+                }
+            };
             assert_eq!(
-                backend(elected).run_layer(&plan, &inputs, 2),
+                run_auto(&inputs),
                 expected,
-                "auto ({elected}) diverged on {name} B={b}"
+                "auto ({}) diverged on {name} B={b}",
+                table.candidate_for(plan, b).expect("seeded").name()
             );
-            // Reported numbers: interleaved rounds over all seven backends
-            // (the six statics plus `auto`, whose timed path includes the
-            // per-call table lookup), min per backend across rounds. The
-            // round-robin order means slow drift — thermal, a noisy
-            // neighbor — hits every backend alike instead of whichever one
-            // happened to own the polluted block, and the per-run minimum
-            // discards preempted iterations entirely.
-            let mut mins = vec![f64::INFINITY; BackendKind::STATIC.len() + 1];
+            // Reported numbers: interleaved rounds over every variant plus
+            // `auto` (whose timed path includes the per-call table lookup),
+            // min per variant across rounds. The round-robin order means
+            // slow drift — thermal, a noisy neighbor — hits every variant
+            // alike instead of whichever one happened to own the polluted
+            // block, and the per-run minimum discards preempted iterations
+            // entirely. After each round the calibration cell is re-seeded
+            // from the running minima, so the election converges on the
+            // argmin of the *reported* numbers rather than of a noisy
+            // one-shot pre-pass that could mis-elect among near-ties.
+            let mut auto_min = f64::INFINITY;
             for _ in 0..repeats {
-                for (i, kind) in BackendKind::STATIC.into_iter().enumerate() {
-                    let exec = backend(kind);
+                for (i, (_, _, run, _)) in variants.iter().enumerate() {
                     let start = Instant::now();
-                    std::hint::black_box(exec.run_layer(&plan, &inputs, 2));
+                    std::hint::black_box(run(&inputs));
                     mins[i] = mins[i].min(start.elapsed().as_secs_f64());
                 }
-                let last = mins.len() - 1;
-                let start = Instant::now();
-                let kind = table.choice_for(&plan, b).expect("cell was just seeded");
-                std::hint::black_box(backend(kind).run_layer(&plan, &inputs, 2));
-                mins[last] = mins[last].min(start.elapsed().as_secs_f64());
+                for ((_, _, _, seeds), &m) in variants.iter().zip(&mins) {
+                    if let Some(cand) = seeds {
+                        let seed_ns = (m * 1e9 / b as f64).max(1.0) as u64;
+                        table.seed_candidate(&key, bucket, *cand, seed_ns);
+                    }
+                }
+                // Two timed `auto` calls per round: on cells where several
+                // backends tie, "best static" is an argmin over each tied
+                // row's minimum — an order statistic drawn from 2-3× more
+                // samples than any single row — so a lone `auto` sample per
+                // round would lose such cells by the order-statistic gap
+                // alone. Doubling `auto`'s draws keeps its minimum
+                // comparable to that of the tied cluster it dispatches
+                // into.
+                for _ in 0..2 {
+                    let start = Instant::now();
+                    std::hint::black_box(run_auto(&inputs));
+                    auto_min = auto_min.min(start.elapsed().as_secs_f64());
+                }
             }
-            let timed: Vec<(BackendKind, f64)> = BackendKind::STATIC
-                .into_iter()
-                .zip(&mins)
-                .map(|(kind, s)| (kind, s * 1e6 / b as f64))
-                .collect();
-            let auto_us = mins[mins.len() - 1] * 1e6 / b as f64;
-            let compiled_us = timed
+            let elected = table.candidate_for(plan, b).expect("cell was just seeded");
+            let auto_us = auto_min * 1e6 / b as f64;
+            let compiled_us = variants
                 .iter()
-                .find(|(k, _)| *k == BackendKind::Compiled)
+                .zip(&mins)
+                .find(|((label, ..), _)| label == BackendKind::Compiled.name())
                 .expect("compiled backend is registered")
-                .1;
-            for (kind, us) in timed {
+                .1
+                * 1e6
+                / b as f64;
+            for ((label, tier_label, ..), s) in variants.iter().zip(&mins) {
+                let us = s * 1e6 / b as f64;
                 t.push_row(vec![
                     name.to_string(),
                     b.to_string(),
-                    kind.name().to_string(),
+                    label.clone(),
+                    tier_label.clone(),
                     f2(us),
                     f2(compiled_us / us),
                 ]);
             }
+            let auto_tier = match elected.tier {
+                Some(tier) => plan.kernel_sel().with_tier(tier).label(),
+                None => "-".to_string(),
+            };
             t.push_row(vec![
                 name.to_string(),
                 b.to_string(),
                 BackendKind::Auto.name().to_string(),
+                auto_tier,
                 f2(auto_us),
                 f2(compiled_us / auto_us),
             ]);
@@ -1458,21 +1591,28 @@ pub fn backend_table(quick: bool) -> TableOut {
 /// `repro tune` — the micro-probe calibration behind the `auto` backend.
 /// Every distinct conv-layer shape of the serving model zoo
 /// (`SERVE_ZOO`, so repeated topologies are probed once) is timed per
-/// static backend per batch bucket (`[1, 8]` quick, `[1, 2, 4, 8]` full;
-/// one warm-up plus a few timed `run_layer` calls each), and the
+/// dispatch candidate per batch bucket (`[1, 8]` quick, `[1, 2, 4, 8]`
+/// full; one warm-up plus a few timed `run_layer` calls each), and the
 /// per-image estimates are seeded into a
-/// [`CalibrationTable`](ucnn_core::tune::CalibrationTable). One row per
-/// (shape, bucket) cell: the elected winner (argmin with registry-order
-/// tie-break) plus all six estimates in µs. `repro tune` writes the rows
-/// as `BENCH_tune.json` — the persisted calibration a deployment attaches
+/// [`CalibrationTable`](ucnn_core::tune::CalibrationTable). The candidate
+/// set — and therefore the column set — is machine-dependent: the six
+/// static backends always, plus one `flattened-batch@<tier>` candidate
+/// per ISA tier the CPU supports ([`candidates`]). One row per (shape,
+/// bucket) cell: the elected winner (argmin with registry-order
+/// tie-break; tier-pinned winners render as `flattened-batch@<tier>`)
+/// plus every candidate estimate in µs. `repro tune` writes the rows as
+/// `BENCH_tune.json` — the persisted calibration a deployment attaches
 /// with [`CompiledNetwork::with_calibration`] and the serving engine then
 /// re-tunes online (EWMA feedback behind a 12.5% hysteresis election).
 ///
+/// [`candidates`]: ucnn_core::tune::candidates
 /// [`CompiledNetwork::with_calibration`]: ucnn_core::plan::CompiledNetwork::with_calibration
 #[must_use]
 pub fn tune_table(quick: bool) -> TableOut {
     use ucnn_core::plan::CompiledNetwork;
-    use ucnn_core::tune::{calibrate_network, CalibrationTable, TuneOptions, DEFAULT_BUCKETS};
+    use ucnn_core::tune::{
+        calibrate_network, candidates, CalibrationTable, Candidate, TuneOptions, DEFAULT_BUCKETS,
+    };
     use ucnn_model::forward;
 
     let opts = TuneOptions {
@@ -1500,26 +1640,27 @@ pub fn tune_table(quick: bool) -> TableOut {
         calibrate_network(&table, &plan, &opts);
     }
 
+    // Column names derive from the machine's candidate list: `@` and `-`
+    // both map to `_` so the JSON keys stay word-shaped
+    // (`flattened_batch_avx2_us`).
+    let est_cols: Vec<String> = candidates()
+        .iter()
+        .map(|c| format!("{}_us", c.name().replace(['-', '@'], "_")))
+        .collect();
+    let header: Vec<&str> = ["shape", "batch", "winner"]
+        .into_iter()
+        .chain(est_cols.iter().map(String::as_str))
+        .collect();
     let mut t = TableOut::new(
-        "Calibration probe: per-(layer shape x batch bucket) winner and per-backend ns/image (2 exec threads)",
-        &[
-            "shape",
-            "batch",
-            "winner",
-            "factorized_us",
-            "compiled_us",
-            "batch_us",
-            "batch_threads_us",
-            "flattened_us",
-            "flattened_batch_us",
-        ],
+        "Calibration probe: per-(layer shape x batch bucket) winner and per-candidate ns/image (2 exec threads)",
+        &header,
     );
     for row in table.rows() {
-        let mut cells = vec![
-            row.shape.clone(),
-            row.bucket.to_string(),
-            row.choice.name().to_string(),
-        ];
+        let winner = Candidate {
+            kind: row.choice,
+            tier: row.choice_tier,
+        };
+        let mut cells = vec![row.shape.clone(), row.bucket.to_string(), winner.name()];
         cells.extend(row.est_ns.iter().map(|ns| f2(*ns as f64 / 1000.0)));
         t.push_row(cells);
     }
@@ -1831,11 +1972,40 @@ mod tests {
         // Speedups are machine-dependent and not asserted (the micro bench
         // is the perf gate).
         let t = backend_table(true);
-        let kinds = BackendKind::ALL.len();
-        assert_eq!(t.rows.len(), 2 * 2 * kinds); // 2 layers × 2 batch sizes
+        let tiers = ucnn_core::simd::electable_tiers().len();
+        // Per cell: the seven registered backends, one tier-pinned
+        // flattened-batch row per available ISA tier, and — since every
+        // bench layer has a pow2 alphabet — one twin per tier with the
+        // un-elected phase-2 mode forced on. 3 layers × 2 quick batch
+        // sizes.
+        let per_cell = BackendKind::ALL.len() + 2 * tiers;
+        let cells = 3 * 2;
+        assert_eq!(t.rows.len(), cells * per_cell);
+        assert_eq!(
+            t.header,
+            vec![
+                "layer",
+                "batch",
+                "backend",
+                "simd_tier",
+                "per_image_us",
+                "x_vs_compiled"
+            ]
+        );
         for row in &t.rows {
-            assert!(row[3].parse::<f64>().unwrap() > 0.0, "{row:?}");
             assert!(row[4].parse::<f64>().unwrap() > 0.0, "{row:?}");
+            assert!(row[5].parse::<f64>().unwrap() > 0.0, "{row:?}");
+            // Every row reports which kernel ran: flattened rows carry a
+            // `tier+mode` label, the rest a `-` placeholder (auto carries
+            // whichever its elected candidate used).
+            if row[2].starts_with("flattened") {
+                assert!(
+                    row[3].contains("+shift") || row[3].contains("+mult"),
+                    "flattened rows report their kernel: {row:?}"
+                );
+            } else if row[2] != "auto" {
+                assert_eq!(row[3], "-", "{row:?}");
+            }
         }
         // Every backend appears for the FC B=1 cell.
         let fc_b1: Vec<_> = t
@@ -1843,47 +2013,80 @@ mod tests {
             .iter()
             .filter(|r| r[0] == "fc 1x1" && r[1] == "1")
             .collect();
-        assert_eq!(fc_b1.len(), kinds);
+        assert_eq!(fc_b1.len(), per_cell);
+        // Forced-tier rows exist for every available tier, with the
+        // shift/mult twins paired at equal width (the twin's suffix names
+        // the mode the plan's run-length heuristic did not elect, so it is
+        // `-mult` on shift-elected layers and `-shift` on multiply-elected
+        // ones).
+        for tier in ucnn_core::simd::electable_tiers() {
+            let pinned = format!("flattened-batch@{}", tier.name());
+            let twin_prefix = format!("flattened-batch@{}-", tier.name());
+            assert_eq!(
+                t.rows.iter().filter(|r| r[2] == pinned).count(),
+                cells,
+                "{pinned} row per cell"
+            );
+            assert_eq!(
+                t.rows
+                    .iter()
+                    .filter(|r| r[2].starts_with(&twin_prefix))
+                    .count(),
+                cells,
+                "{twin_prefix}shift|mult twin row per cell"
+            );
+        }
         // The auto row exists in every cell and is never implausibly slow:
         // the CI validator enforces the real win/loss bars on the full run.
         assert_eq!(
             t.rows.iter().filter(|r| r[2] == "auto").count(),
-            4,
+            cells,
             "one auto row per (layer, batch) cell"
         );
     }
 
     #[test]
     fn tune_table_covers_every_zoo_shape_and_bucket() {
+        use ucnn_core::tune::{candidates, Candidate};
+
         let t = tune_table(true);
-        // Header stays in sync with BackendKind::STATIC (the validator and
-        // EXPERIMENTS.md document these columns by name).
+        // Header stays in sync with the machine's candidate list — the
+        // six static backends plus one flattened-batch column per
+        // available ISA tier (the validator and EXPERIMENTS.md document
+        // the naming scheme, not a fixed set).
         let expected_cols: Vec<String> = ["shape", "batch", "winner"]
             .into_iter()
             .map(String::from)
             .chain(
-                BackendKind::STATIC
+                candidates()
                     .iter()
-                    .map(|k| format!("{}_us", k.name().replace('-', "_"))),
+                    .map(|c| format!("{}_us", c.name().replace(['-', '@'], "_"))),
             )
             .collect();
         assert_eq!(t.header, expected_cols);
+        assert!(t.header.len() > 3 + BackendKind::STATIC.len());
         assert!(!t.rows.is_empty());
         let shapes: std::collections::BTreeSet<&str> =
             t.rows.iter().map(|r| r[0].as_str()).collect();
         // The zoo is three registrations of one topology: shapes dedup, so
         // every shape must appear once per quick bucket with a winner whose
-        // estimate is the row minimum (registry-order tie-break).
+        // estimate is the row minimum (candidate-order tie-break).
         assert_eq!(t.rows.len(), shapes.len() * 2, "buckets [1, 8] per shape");
         for row in &t.rows {
             assert!(matches!(row[1].as_str(), "1" | "8"), "{row:?}");
             let ests: Vec<f64> = row[3..].iter().map(|v| v.parse().unwrap()).collect();
+            assert_eq!(ests.len(), candidates().len());
             assert!(ests.iter().all(|e| *e > 0.0), "unprobed estimate: {row:?}");
             let min = ests.iter().cloned().fold(f64::INFINITY, f64::min);
-            let winner_idx = BackendKind::STATIC
+            let winner_idx = candidates()
                 .iter()
-                .position(|k| k.name() == row[2])
-                .unwrap_or_else(|| panic!("winner '{}' is not a static backend", row[2]));
+                .position(|c| c.name() == row[2])
+                .unwrap_or_else(|| panic!("winner '{}' is not a candidate", row[2]));
+            assert_eq!(
+                Candidate::parse(&row[2]),
+                Some(candidates()[winner_idx]),
+                "winner names parse back to their candidate"
+            );
             assert!(
                 (ests[winner_idx] - min).abs() < f64::EPSILON,
                 "winner must be the argmin: {row:?}"

@@ -51,8 +51,12 @@ pub enum BackendKind {
     Flattened,
     /// Flattened execution over batch-interleaved SIMD lanes
     /// (`run_flattened_batch_interleaved`): one indirection walk per lane
-    /// chunk feeds up to [`LANE_WIDTH`](crate::flatten::LANE_WIDTH)
-    /// contiguous image lanes the autovectorizer widens to SIMD.
+    /// chunk feeds a strip of contiguous image lanes as wide as the
+    /// dispatched ISA tier allows (8 scalar/NEON, 16 AVX2, 32 AVX-512 —
+    /// see [`SimdTier::lane_width`](crate::simd::SimdTier::lane_width)),
+    /// through explicit `#[target_feature]` kernels picked once per plan
+    /// by [`CompiledLayer::kernel_sel`]. Power-of-two weight alphabets
+    /// additionally take the shift-add quantized path.
     FlattenedBatch,
     /// Cost-model dispatcher: delegates each layer to the
     /// [`BackendKind::STATIC`] backend a
@@ -231,14 +235,27 @@ fn stream_walk_work(layer: &CompiledLayer, batch: usize) -> LayerWork {
         csr_segments: 0,
         lowering_hits: 0,
         lowering_misses: 0,
+        lane_strips: 0,
+        shift_multiplies: 0,
+        lane_width: 0,
     }
 }
 
 /// [`stream_walk_work`] plus the flattened-only fields: CSR segments walked
 /// (one multiply each per output position — the lowering invariant pinned
-/// by `segment_counts_match_stream_multiplies`) and whether this call hit
-/// the cached lowering or had to build it.
-fn flattened_work(layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
+/// by `segment_counts_match_stream_multiplies`), whether this call hit
+/// the cached lowering or had to build it, and the per-ISA profile from
+/// the layer's cached kernel selection — which interleave width ran, how
+/// many lane strips the batch decomposed into, and how many multiplies
+/// the power-of-two shift-add path absorbed. `interleaved` is whether the
+/// backend runs the batch-interleaved executor (tier-wide strips) or the
+/// planar one (width-1 strips, one per image).
+fn flattened_work(
+    layer: &CompiledLayer,
+    batch: usize,
+    lowering_was_ready: bool,
+    interleaved: bool,
+) -> LayerWork {
     let mut work = stream_walk_work(layer, batch);
     let out_positions = (layer.geom().out_w() * layer.geom().out_h()) as u64;
     let segments: u64 = layer
@@ -251,6 +268,17 @@ fn flattened_work(layer: &CompiledLayer, batch: usize, lowering_was_ready: bool)
         work.lowering_hits = 1;
     } else {
         work.lowering_misses = 1;
+    }
+    let sel = layer.kernel_sel().clamped();
+    if sel.shift_add {
+        work.shift_multiplies = work.multiplies_issued;
+    }
+    if interleaved {
+        work.lane_width = sel.tier.lane_width() as u64;
+        work.lane_strips = crate::flatten::chunk_count(batch, sel.tier.lane_width()) as u64;
+    } else {
+        work.lane_width = 1;
+        work.lane_strips = batch as u64;
     }
     work
 }
@@ -358,10 +386,11 @@ impl Backend for FlattenedBackend {
 
     fn warm(&self, layer: &CompiledLayer) {
         let _ = layer.flat_tiles();
+        let _ = layer.kernel_sel();
     }
 
     fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
-        flattened_work(layer, batch, lowering_was_ready)
+        flattened_work(layer, batch, lowering_was_ready, false)
     }
 }
 
@@ -383,10 +412,14 @@ impl Backend for FlattenedBatchBackend {
 
     fn warm(&self, layer: &CompiledLayer) {
         let _ = layer.flat_tiles();
+        // Resolving the kernel selection here (not on the first request)
+        // pins the ISA tier + alphabet classification into the plan's
+        // `OnceLock`, the same warm-path discipline as the lowering.
+        let _ = layer.kernel_sel();
     }
 
     fn work(&self, layer: &CompiledLayer, batch: usize, lowering_was_ready: bool) -> LayerWork {
-        flattened_work(layer, batch, lowering_was_ready)
+        flattened_work(layer, batch, lowering_was_ready, true)
     }
 }
 

@@ -54,10 +54,28 @@ pub struct LayerWork {
     pub lowering_hits: u64,
     /// Layer executions that had to build (or wait for) the lowering.
     pub lowering_misses: u64,
+    /// Interleaved lane strips walked by the flattened backends: how many
+    /// times the CSR indirection stream was traversed, each traversal
+    /// feeding up to [`lane_width`](LayerWork::lane_width) image lanes.
+    /// Zero for backends that do not interleave.
+    pub lane_strips: u64,
+    /// Of [`multiplies_issued`](LayerWork::multiplies_issued), how many
+    /// were issued as shift-adds by the power-of-two-alphabet quantized
+    /// kernel instead of broadcast multiplies. Zero when the layer's
+    /// alphabet is not pow2/ternary or the shift path is disabled.
+    pub shift_multiplies: u64,
+    /// Widest SIMD interleave width the dispatched kernel ran at (the
+    /// [`SimdTier::lane_width`](crate::simd::SimdTier::lane_width) of the
+    /// elected tier; 1 for planar execution, 0 when not applicable).
+    /// Merged by `max`, so an aggregate row reports the widest tier that
+    /// served it — the per-ISA issued-op profile.
+    pub lane_width: u64,
 }
 
 impl LayerWork {
-    /// Adds `other` into `self` field by field.
+    /// Adds `other` into `self` field by field
+    /// ([`lane_width`](LayerWork::lane_width) merges by `max` — it is a
+    /// profile annotation, not a count).
     pub fn merge(&mut self, other: &LayerWork) {
         self.images += other.images;
         self.dense_multiplies += other.dense_multiplies;
@@ -66,6 +84,9 @@ impl LayerWork {
         self.csr_segments += other.csr_segments;
         self.lowering_hits += other.lowering_hits;
         self.lowering_misses += other.lowering_misses;
+        self.lane_strips += other.lane_strips;
+        self.shift_multiplies += other.shift_multiplies;
+        self.lane_width = self.lane_width.max(other.lane_width);
     }
 
     /// Multiplies issued over dense-equivalent multiplies — the paper's
@@ -277,6 +298,32 @@ mod tests {
     #[test]
     fn empty_work_reuse_ratio_is_zero() {
         assert_eq!(LayerWork::default().reuse_ratio(), 0.0);
+    }
+
+    #[test]
+    fn simd_profile_fields_merge_additively_except_lane_width() {
+        let mut a = LayerWork {
+            lane_strips: 2,
+            shift_multiplies: 100,
+            lane_width: 8,
+            ..LayerWork::default()
+        };
+        let b = LayerWork {
+            lane_strips: 3,
+            shift_multiplies: 50,
+            lane_width: 32,
+            ..LayerWork::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lane_strips, 5);
+        assert_eq!(a.shift_multiplies, 150);
+        assert_eq!(a.lane_width, 32, "lane width reports the widest tier");
+        // Merging a narrower record never shrinks the profile.
+        a.merge(&LayerWork {
+            lane_width: 1,
+            ..LayerWork::default()
+        });
+        assert_eq!(a.lane_width, 32);
     }
 
     #[test]

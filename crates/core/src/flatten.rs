@@ -31,27 +31,39 @@
 //! branch-free gather; padded layers keep a per-entry bounds check but still
 //! skip the decode and the closure machinery.
 //!
-//! # Batch-interleaved lanes
+//! # Batch-interleaved lanes and ISA tiers
 //!
 //! The paper's vector datapath amortizes one indirection stream across `VW`
 //! lanes (§VI): the iterator walk is paid once, the arithmetic is wide. The
 //! per-image executor above does the opposite over a batch — every image
-//! re-pays every gather offset and segment bound. [`run_flattened_batch_interleaved`]
-//! is the software analog of the hardware's lane sharing: the batch is cut
-//! into chunks of up to [`LANE_WIDTH`] images, each chunk's activations are
-//! transposed once into a batch-interleaved layout (`input[off · LW + lane]`,
-//! planar offset major, image lane minor), and both phases run as
-//! straight-line loops over contiguous `LW`-wide lanes the autovectorizer
-//! turns into SIMD (`i16`→`i32` widening adds, one broadcast multiply per
+//! re-pays every gather offset and segment bound.
+//! [`run_flattened_batch_interleaved`] is the software analog of the
+//! hardware's lane sharing: the batch is cut into chunks of interleaved
+//! images (`input[off · LW + lane]`, planar offset major, image lane
+//! minor), and both phases run as straight-line loops over contiguous
+//! `LW`-wide strips (`i16`→`i32` widening adds, one broadcast multiply per
 //! segment weight). Every gather base, halo bounds check, and CSR segment
 //! range is computed **once per entry per output position** and feeds all
-//! `LW` images. Per lane the i32 operation sequence is identical to
-//! [`run_flattened`], so outputs stay bit-identical at every batch size.
+//! `LW` images.
+//!
+//! The strip width and codegen follow the dispatched [`KernelSel`]
+//! ([`simd`](crate::simd)): the `scalar` tier keeps the historical
+//! [`LANE_WIDTH`]` = 8` strips under baseline codegen, while the `avx2` /
+//! `avx512` tiers run the same strip body 16/32 lanes wide inside
+//! `#[target_feature]`-gated kernels so the compiler emits full-width
+//! 256/512-bit arithmetic. On power-of-two weight alphabets (INQ, ternary
+//! TTQ) phase 2 swaps the broadcast multiply for shift-add accumulation.
+//! Per lane the i32 operation sequence is identical at every width, every
+//! tier, and both phase-2 forms (`x · ±2^k ≡ ±(x << k)` in two's
+//! complement), so outputs stay bit-identical to [`run_flattened`] across
+//! all of them — the golden conformance corpus is the referee.
 //!
 //! Scratch (the interleaved chunk, the prefix lanes, the lane-major output)
-//! lives in a [`FlattenedScratch`] arena. The module keeps one arena per
-//! thread, so a serving worker's steady-state hot path stops allocating per
-//! request; callers that want explicit control use the `*_with` variants.
+//! lives in a [`FlattenedScratch`] arena whose capacity follows the
+//! dispatched kernel width ([`FlattenedScratch::reserve_for`]). The module
+//! keeps one arena per thread, so a serving worker's steady-state hot path
+//! stops allocating per request; callers that want explicit control use the
+//! `*_with` variants.
 
 use std::cell::RefCell;
 
@@ -59,6 +71,7 @@ use ucnn_tensor::{ConvGeom, Tensor3};
 
 use crate::hierarchy::{GroupStream, ZERO_RANK};
 use crate::plan::CompiledLayer;
+use crate::simd::{KernelSel, SimdTier};
 
 /// The flattened, branch-free form of one retained tile: per-entry gather
 /// offsets plus CSR-style activation-group ranges per level.
@@ -97,6 +110,44 @@ pub struct FlattenedTile {
     seg_end: Vec<u32>,
     /// Per segment: the group's canonical (non-zero) weight value.
     seg_weight: Vec<i32>,
+    /// `true` when every segment weight is `±2^k` — the tile qualifies for
+    /// the shift-add phase-2 kernel (INQ and ternary TTQ alphabets always
+    /// do). Classified once at lowering time.
+    pow2: bool,
+    /// Per segment, only when `pow2`: signed shift code `±(k + 1)` for a
+    /// weight of `±2^k` (the magnitude is never zero, so `|code| ≥ 1`).
+    /// When `pow2`, each level's segments are additionally **sorted by
+    /// code** at lowering time (wrapping i32 addition is commutative, so
+    /// the permutation is bit-invisible), collapsing the codes into a few
+    /// runs per level.
+    seg_shift: Vec<i8>,
+    /// Per level `l`, only when `pow2`: runs `run_ptr[l]..run_ptr[l + 1]`
+    /// belong to `l` — the CSR analog of `seg_ptr` over equal-code runs.
+    run_ptr: Vec<u32>,
+    /// Per run: one past the last segment of the run.
+    run_end: Vec<u32>,
+    /// Per run: the common shift code of every segment in the run. The
+    /// shift-add kernel hoists the shift and the sign out of the segment
+    /// loop per run — the per-segment work is a bare add/sub, with no
+    /// data-dependent branch to mispredict on sign-random alphabets.
+    run_code: Vec<i8>,
+}
+
+/// The shift code for a `±2^k` segment weight: `±(k + 1)`; `None` when the
+/// weight is not a (signed) power of two.
+fn shift_code(weight: i32) -> Option<i8> {
+    let mag = weight.unsigned_abs();
+    if mag == 0 || !mag.is_power_of_two() {
+        return None;
+    }
+    let k = mag.trailing_zeros();
+    // Canonical weights widen from i16, so k ≤ 15 in practice; the i8 code
+    // caps at 30 defensively (shifting past that would change wrapping).
+    if k > 30 {
+        return None;
+    }
+    let code = (k as i8) + 1;
+    Some(if weight < 0 { -code } else { code })
 }
 
 impl FlattenedTile {
@@ -167,6 +218,56 @@ impl FlattenedTile {
         }
         seg_ptr.push(u32::try_from(seg_start.len()).expect("segment count fits u32"));
 
+        // Alphabet classification (once, at plan-compile time): the tile
+        // takes the shift-add phase 2 iff every segment weight is ±2^k.
+        let codes: Option<Vec<i8>> = seg_weight.iter().map(|&w| shift_code(w)).collect();
+        let (pow2, mut seg_shift) = match codes {
+            Some(v) => (true, v),
+            None => (false, Vec::new()),
+        };
+
+        // On pow2 alphabets, sort each level's segments by shift code and
+        // record the equal-code runs. Wrapping i32 addition commutes and
+        // `<< k` distributes over it, so both phase-2 kernels are
+        // bit-identical under the permutation — but the shift-add kernel
+        // can now hoist the shift and the sign per run instead of paying a
+        // data-dependent branch per segment (weight signs are effectively
+        // random in INQ/TTQ streams, so that branch never predicts).
+        let mut run_ptr = Vec::new();
+        let mut run_end = Vec::new();
+        let mut run_code = Vec::new();
+        if pow2 {
+            run_ptr.reserve(g + 1);
+            for level in 0..g {
+                run_ptr.push(u32::try_from(run_end.len()).expect("run count fits u32"));
+                let s0 = seg_ptr[level] as usize;
+                let s1 = seg_ptr[level + 1] as usize;
+                let mut order: Vec<usize> = (s0..s1).collect();
+                order.sort_by_key(|&si| seg_shift[si]);
+                let apply_u32 = |v: &mut Vec<u32>| {
+                    let permuted: Vec<u32> = order.iter().map(|&si| v[si]).collect();
+                    v[s0..s1].copy_from_slice(&permuted);
+                };
+                apply_u32(&mut seg_start);
+                apply_u32(&mut seg_end);
+                let w: Vec<i32> = order.iter().map(|&si| seg_weight[si]).collect();
+                seg_weight[s0..s1].copy_from_slice(&w);
+                let c: Vec<i8> = order.iter().map(|&si| seg_shift[si]).collect();
+                seg_shift[s0..s1].copy_from_slice(&c);
+                for (si, &code) in seg_shift.iter().enumerate().take(s1).skip(s0) {
+                    if run_end.len() == run_ptr[level] as usize
+                        || run_code[run_end.len() - 1] != code
+                    {
+                        run_end.push(si as u32 + 1);
+                        run_code.push(code);
+                    } else {
+                        *run_end.last_mut().expect("run exists") = si as u32 + 1;
+                    }
+                }
+            }
+            run_ptr.push(u32::try_from(run_end.len()).expect("run count fits u32"));
+        }
+
         Self {
             k_first,
             g,
@@ -180,6 +281,11 @@ impl FlattenedTile {
             seg_start,
             seg_end,
             seg_weight,
+            pow2,
+            seg_shift,
+            run_ptr,
+            run_end,
+            run_code,
         }
     }
 
@@ -196,76 +302,50 @@ impl FlattenedTile {
         self.seg_start.len()
     }
 
+    /// How many equal-shift-code runs the segment list collapses into
+    /// (zero for a tile whose alphabet is not `±2^k` — runs are only built
+    /// for the shift-add kernel). `segment_count / run_count` is the
+    /// average run length the shift kernel amortizes its hoisted shift
+    /// over; the plan-level kernel election uses it as the profitability
+    /// signal.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.run_end.len()
+    }
+
     /// Whether the tile takes the fully branch-free gather (`pad == 0`).
     #[must_use]
     pub fn branch_free(&self) -> bool {
         self.all_in_bounds
     }
 
-    /// Adds this tile's partial sums into `out` for every output position.
-    /// `prefix` is caller-provided scratch, resized as needed.
-    fn accumulate(&self, input: &[i16], out: &mut [i32], geom: &ConvGeom, prefix: &mut Vec<i32>) {
-        let (out_w, out_h) = (geom.out_w(), geom.out_h());
-        let (in_w, in_h) = (geom.in_w(), geom.in_h());
-        let stride = geom.stride();
-        let n = self.n;
-        prefix.resize(n + 1, 0);
-        prefix[0] = 0;
-
-        for x in 0..out_w {
-            for y in 0..out_h {
-                // Phase 1: prefix sums of the gathered activations.
-                if self.all_in_bounds {
-                    let delta = (x * stride * in_h + y * stride) as i32;
-                    let mut run = 0i32;
-                    for (i, &b) in self.base.iter().enumerate() {
-                        run += i32::from(input[(b + delta) as usize]);
-                        prefix[i + 1] = run;
-                    }
-                } else {
-                    let (bx, by) = ((x * stride) as isize, (y * stride) as isize);
-                    let mut run = 0i32;
-                    for i in 0..n {
-                        let ix = bx + isize::from(self.dx[i]);
-                        let iy = by + isize::from(self.dy[i]);
-                        // Halo reads are zero and add nothing.
-                        if ix >= 0 && iy >= 0 && (ix as usize) < in_w && (iy as usize) < in_h {
-                            let off =
-                                (self.chan[i] as usize * in_w + ix as usize) * in_h + iy as usize;
-                            run += i32::from(input[off]);
-                        }
-                        prefix[i + 1] = run;
-                    }
-                }
-                // Phase 2: every group total is one prefix difference.
-                for level in 0..self.g {
-                    let mut acc = 0i32;
-                    let s0 = self.seg_ptr[level] as usize;
-                    let s1 = self.seg_ptr[level + 1] as usize;
-                    for si in s0..s1 {
-                        let total =
-                            prefix[self.seg_end[si] as usize] - prefix[self.seg_start[si] as usize];
-                        acc += total * self.seg_weight[si];
-                    }
-                    out[((self.k_first + level) * out_w + x) * out_h + y] += acc;
-                }
-            }
-        }
+    /// Whether every segment weight is `±2^k`, so the tile qualifies for
+    /// the shift-add quantized kernel. Trivially `true` for a tile with no
+    /// segments.
+    #[must_use]
+    pub fn pow2_alphabet(&self) -> bool {
+        self.pow2
     }
 
-    /// Adds this tile's partial sums for `LW` batch-interleaved images at
-    /// once: `input` holds a chunk interleaved as `input[off · LW + lane]`
-    /// (see [`interleave_lanes`]), `out` is the matching lane-major output
-    /// accumulator (`out[off · LW + lane]`), and `prefix` is caller scratch
-    /// holding `(n + 1) · LW` prefix lanes.
+    /// The shared strip kernel body: adds this tile's partial sums for `LW`
+    /// batch-interleaved images at once. `input` holds a chunk interleaved
+    /// as `input[off · LW + lane]` (see [`interleave_lanes`]), `out` is the
+    /// matching lane-major output accumulator (`out[off · LW + lane]`), and
+    /// `prefix` is caller scratch holding `(n + 1) · LW` prefix lanes.
+    /// `LW == 1` **is** the planar walk — the layout degenerates to the
+    /// plain planar slices, which is how [`run_flattened`] executes.
     ///
-    /// Per lane, the i32 operation sequence is exactly
-    /// [`FlattenedTile::accumulate`]: one indirection walk feeds all `LW`
-    /// lanes, and every inner loop is a contiguous `LW`-wide strip the
-    /// autovectorizer can lift to SIMD. The const generic keeps the lane
-    /// arrays on the stack and the strip loops fully unrolled at every
-    /// residual chunk width (2..=[`LANE_WIDTH`]).
-    fn accumulate_lanes<const LW: usize>(
+    /// Per lane the i32 operation sequence is independent of `LW`: one
+    /// indirection walk feeds all `LW` lanes, and every inner loop is a
+    /// contiguous `LW`-wide strip the compiler lifts to SIMD at whatever
+    /// register width the enclosing `#[target_feature]` wrapper enables.
+    /// With `SHIFT`, phase 2 accumulates `±((hi − lo) << k)` instead of
+    /// `(hi − lo) · ±2^k` — identical in two's complement — using the
+    /// `seg_shift` codes precomputed at lowering time. The const generics
+    /// keep the lane arrays on the stack and the strips fully unrolled at
+    /// every monomorphized width.
+    #[inline(always)]
+    fn accumulate_lanes_body<const LW: usize, const SHIFT: bool>(
         &self,
         input: &[i16],
         out: &mut [i32],
@@ -310,18 +390,53 @@ impl FlattenedTile {
                         prefix[(i + 1) * LW..][..LW].copy_from_slice(&run);
                     }
                 }
-                // Phase 2: segment ranges resolved once, one broadcast
-                // multiply per segment weight across the LW lanes.
+                // Phase 2: segment ranges resolved once; each segment is one
+                // broadcast multiply — or, on ±2^k alphabets, a bare add into
+                // a per-run accumulator with the shift and sign hoisted out
+                // of the segment loop (segments arrive sorted by shift code,
+                // so a level is a handful of equal-code runs).
                 for level in 0..self.g {
                     let mut acc = [0i32; LW];
-                    let s0 = self.seg_ptr[level] as usize;
-                    let s1 = self.seg_ptr[level + 1] as usize;
-                    for si in s0..s1 {
-                        let weight = self.seg_weight[si];
-                        let hi = &prefix[self.seg_end[si] as usize * LW..][..LW];
-                        let lo = &prefix[self.seg_start[si] as usize * LW..][..LW];
-                        for (a, (&h, &l)) in acc.iter_mut().zip(hi.iter().zip(lo)) {
-                            *a += (h - l) * weight;
+                    if SHIFT {
+                        let mut si = self.seg_ptr[level] as usize;
+                        let r0 = self.run_ptr[level] as usize;
+                        let r1 = self.run_ptr[level + 1] as usize;
+                        for ri in r0..r1 {
+                            let code = self.run_code[ri];
+                            let sh = u32::from(code.unsigned_abs() - 1);
+                            let end = self.run_end[ri] as usize;
+                            let mut racc = [0i32; LW];
+                            while si < end {
+                                let hi = &prefix[self.seg_end[si] as usize * LW..][..LW];
+                                let lo = &prefix[self.seg_start[si] as usize * LW..][..LW];
+                                for (a, (&h, &l)) in racc.iter_mut().zip(hi.iter().zip(lo)) {
+                                    *a += h - l;
+                                }
+                                si += 1;
+                            }
+                            // `(Σd) << k ≡ Σ(d << k)` mod 2^32, so shifting
+                            // the run sum once is bit-identical to shifting
+                            // every segment.
+                            if code > 0 {
+                                for (a, &r) in acc.iter_mut().zip(&racc) {
+                                    *a += r << sh;
+                                }
+                            } else {
+                                for (a, &r) in acc.iter_mut().zip(&racc) {
+                                    *a -= r << sh;
+                                }
+                            }
+                        }
+                    } else {
+                        let s0 = self.seg_ptr[level] as usize;
+                        let s1 = self.seg_ptr[level + 1] as usize;
+                        for si in s0..s1 {
+                            let hi = &prefix[self.seg_end[si] as usize * LW..][..LW];
+                            let lo = &prefix[self.seg_start[si] as usize * LW..][..LW];
+                            let weight = self.seg_weight[si];
+                            for (a, (&h, &l)) in acc.iter_mut().zip(hi.iter().zip(lo)) {
+                                *a += (h - l) * weight;
+                            }
                         }
                     }
                     let off = (((self.k_first + level) * out_w + x) * out_h + y) * LW;
@@ -334,9 +449,121 @@ impl FlattenedTile {
     }
 }
 
-/// Dispatches [`FlattenedTile::accumulate_lanes`] to the monomorphized
-/// kernel for a runtime chunk width (`2..=LANE_WIDTH`); width 1 is routed to
-/// the planar [`FlattenedTile::accumulate`] by the callers.
+/// The `#[target_feature]`-gated tier kernels: each wrapper re-monomorphizes
+/// the shared [`FlattenedTile::accumulate_lanes_body`] under a wider ISA so
+/// the compiler emits full-width vector arithmetic for the strip loops. The
+/// body is `#[inline(always)]`, so the feature gate reaches every inner
+/// loop.
+///
+/// These functions are `unsafe` purely by the `#[target_feature]` language
+/// rule; they have no other safety obligations. Callers must ensure the
+/// feature is present — [`accumulate_width`] only reaches them through a
+/// [`KernelSel`] clamped by [`SimdCaps`](crate::simd::SimdCaps) detection.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod tier_kernels {
+    use super::FlattenedTile;
+    use ucnn_tensor::ConvGeom;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tile_lanes_avx2<const LW: usize, const SHIFT: bool>(
+        tile: &FlattenedTile,
+        input: &[i16],
+        out: &mut [i32],
+        geom: &ConvGeom,
+        prefix: &mut Vec<i32>,
+    ) {
+        tile.accumulate_lanes_body::<LW, SHIFT>(input, out, geom, prefix);
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn tile_lanes_avx512<const LW: usize, const SHIFT: bool>(
+        tile: &FlattenedTile,
+        input: &[i16],
+        out: &mut [i32],
+        geom: &ConvGeom,
+        prefix: &mut Vec<i32>,
+    ) {
+        tile.accumulate_lanes_body::<LW, SHIFT>(input, out, geom, prefix);
+    }
+}
+
+/// NEON twin of the x86 tier kernels (NEON is baseline on aarch64, but the
+/// explicit gate keeps the dispatch structure uniform).
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod tier_kernels {
+    use super::FlattenedTile;
+    use ucnn_tensor::ConvGeom;
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn tile_lanes_neon<const LW: usize, const SHIFT: bool>(
+        tile: &FlattenedTile,
+        input: &[i16],
+        out: &mut [i32],
+        geom: &ConvGeom,
+        prefix: &mut Vec<i32>,
+    ) {
+        tile.accumulate_lanes_body::<LW, SHIFT>(input, out, geom, prefix);
+    }
+}
+
+/// Runs one monomorphized strip width through the selected tier kernel.
+///
+/// The `unsafe` blocks satisfy the `#[target_feature]` contract by
+/// construction: every [`KernelSel`] that reaches an executor has been
+/// clamped to the CPU's detected capabilities
+/// ([`KernelSel::clamped`]), so a gated kernel only runs when its feature
+/// was probed present. Foreign-architecture tiers fold into the scalar arm
+/// at compile time via the `cfg`s.
+#[allow(unsafe_code)]
+fn accumulate_width<const LW: usize>(
+    tile: &FlattenedTile,
+    input: &[i16],
+    out: &mut [i32],
+    geom: &ConvGeom,
+    prefix: &mut Vec<i32>,
+    sel: KernelSel,
+) {
+    let shift = sel.shift_add && tile.pow2;
+    match sel.tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe {
+            if shift {
+                tier_kernels::tile_lanes_avx2::<LW, true>(tile, input, out, geom, prefix);
+            } else {
+                tier_kernels::tile_lanes_avx2::<LW, false>(tile, input, out, geom, prefix);
+            }
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => unsafe {
+            if shift {
+                tier_kernels::tile_lanes_avx512::<LW, true>(tile, input, out, geom, prefix);
+            } else {
+                tier_kernels::tile_lanes_avx512::<LW, false>(tile, input, out, geom, prefix);
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe {
+            if shift {
+                tier_kernels::tile_lanes_neon::<LW, true>(tile, input, out, geom, prefix);
+            } else {
+                tier_kernels::tile_lanes_neon::<LW, false>(tile, input, out, geom, prefix);
+            }
+        },
+        _ => {
+            if shift {
+                tile.accumulate_lanes_body::<LW, true>(input, out, geom, prefix);
+            } else {
+                tile.accumulate_lanes_body::<LW, false>(input, out, geom, prefix);
+            }
+        }
+    }
+}
+
+/// Dispatches to the monomorphized kernel for a runtime chunk width. The
+/// decomposition ([`next_chunk_width`]) only ever emits these widths:
+/// `1..=8` for residuals, plus the wide-tier strips 16 and 32.
 fn accumulate_tile_lanes(
     tile: &FlattenedTile,
     input: &[i16],
@@ -344,17 +571,53 @@ fn accumulate_tile_lanes(
     geom: &ConvGeom,
     prefix: &mut Vec<i32>,
     lw: usize,
+    sel: KernelSel,
 ) {
     match lw {
-        2 => tile.accumulate_lanes::<2>(input, out, geom, prefix),
-        3 => tile.accumulate_lanes::<3>(input, out, geom, prefix),
-        4 => tile.accumulate_lanes::<4>(input, out, geom, prefix),
-        5 => tile.accumulate_lanes::<5>(input, out, geom, prefix),
-        6 => tile.accumulate_lanes::<6>(input, out, geom, prefix),
-        7 => tile.accumulate_lanes::<7>(input, out, geom, prefix),
-        8 => tile.accumulate_lanes::<8>(input, out, geom, prefix),
-        other => unreachable!("lane width {other} outside 2..=LANE_WIDTH"),
+        1 => accumulate_width::<1>(tile, input, out, geom, prefix, sel),
+        2 => accumulate_width::<2>(tile, input, out, geom, prefix, sel),
+        3 => accumulate_width::<3>(tile, input, out, geom, prefix, sel),
+        4 => accumulate_width::<4>(tile, input, out, geom, prefix, sel),
+        5 => accumulate_width::<5>(tile, input, out, geom, prefix, sel),
+        6 => accumulate_width::<6>(tile, input, out, geom, prefix, sel),
+        7 => accumulate_width::<7>(tile, input, out, geom, prefix, sel),
+        8 => accumulate_width::<8>(tile, input, out, geom, prefix, sel),
+        16 => accumulate_width::<16>(tile, input, out, geom, prefix, sel),
+        32 => accumulate_width::<32>(tile, input, out, geom, prefix, sel),
+        other => unreachable!("lane width {other} has no monomorphized kernel"),
     }
+}
+
+/// The width of the next chunk when `rest` images remain and the dispatched
+/// tier interleaves `lane_width` lanes: whole tier-width strips first, then
+/// the widest monomorphized residuals (16, then [`LANE_WIDTH`]), then the
+/// exact remainder. Every emitted width has a kernel in
+/// [`accumulate_tile_lanes`].
+fn next_chunk_width(rest: usize, lane_width: usize) -> usize {
+    if rest >= lane_width {
+        lane_width
+    } else if rest >= 16 {
+        16
+    } else if rest >= LANE_WIDTH {
+        LANE_WIDTH
+    } else {
+        rest
+    }
+}
+
+/// How many lane strips [`next_chunk_width`] decomposes a batch into at a
+/// given tier width — the analytic count behind
+/// [`LayerWork::lane_strips`](crate::counters::LayerWork::lane_strips)
+/// (one CSR indirection walk per strip).
+#[must_use]
+pub(crate) fn chunk_count(batch: usize, lane_width: usize) -> usize {
+    let mut rest = batch;
+    let mut strips = 0;
+    while rest > 0 {
+        rest -= next_chunk_width(rest, lane_width);
+        strips += 1;
+    }
+    strips
 }
 
 /// Executes a [`CompiledLayer`] through its flattened tiles — bit-identical
@@ -410,11 +673,14 @@ pub fn run_flattened_with(
         "input plane mismatch"
     );
 
+    let sel = layer.kernel_sel();
     let mut out = Tensor3::<i32>::zeros(geom.k(), geom.out_w(), geom.out_h());
     let out_slice = out.as_mut_slice();
     let in_slice = input.as_slice();
     for tile in layer.flat_tiles() {
-        tile.accumulate(in_slice, out_slice, geom, &mut scratch.prefix);
+        // Width 1 *is* the planar layout; the tier/shift selection still
+        // applies (the quantized phase 2 pays off even single-image).
+        accumulate_width::<1>(tile, in_slice, out_slice, geom, &mut scratch.prefix, sel);
     }
     out
 }
@@ -464,11 +730,11 @@ pub fn run_flattened_batch(
         .collect()
 }
 
-/// Images interleaved per lane chunk by
-/// [`run_flattened_batch_interleaved`] — the software analog of the paper's
-/// vector fetch width `VW` (§VI). Eight `i32` lanes fill two 128-bit
-/// registers on baseline x86-64 and exactly one 256-bit AVX2 register, and
-/// residual chunks (`B mod 8`) still get monomorphized kernels.
+/// The scalar tier's interleave width — and the widest *residual* chunk the
+/// decomposition emits below a full tier strip. Eight `i32` lanes fill two
+/// 128-bit registers on baseline x86-64; the `avx2`/`avx512` tiers run 16-
+/// and 32-lane strips (see [`SimdTier::lane_width`]), all through the same
+/// monomorphized kernel set.
 pub const LANE_WIDTH: usize = 8;
 
 /// Reusable scratch for the flattened executors: the batch-interleaved
@@ -476,10 +742,12 @@ pub const LANE_WIDTH: usize = 8;
 /// accumulator.
 ///
 /// One arena serves any number of layers and chunk widths — buffers only
-/// ever grow. The module keeps a thread-local arena that the plain entry
-/// points ([`run_flattened`], [`run_flattened_batch_interleaved`]) borrow,
-/// so each serving worker thread reuses its own arena across requests; the
-/// `*_with` variants take one explicitly.
+/// ever grow, and [`FlattenedScratch::reserve_for`] pre-grows them to the
+/// dispatched kernel width so wider tiers never reallocate per chunk. The
+/// module keeps a thread-local arena that the plain entry points
+/// ([`run_flattened`], [`run_flattened_batch_interleaved`]) borrow, so each
+/// serving worker thread reuses its own arena across requests; the `*_with`
+/// variants take one explicitly.
 #[derive(Debug, Default)]
 pub struct FlattenedScratch {
     /// Batch-interleaved activations: `interleaved[off · LW + lane]`.
@@ -491,11 +759,39 @@ pub struct FlattenedScratch {
     out_lanes: Vec<i32>,
 }
 
+/// Grows a buffer's capacity to at least `cap` elements without touching
+/// its length or contents.
+fn grow_capacity<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve(cap - v.len());
+    }
+}
+
 impl FlattenedScratch {
     /// Creates an empty arena (buffers grow on first use).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-grows every buffer for running `layer` at interleave width
+    /// `lane_width`, so no subsequent chunk of that width (or narrower)
+    /// reallocates. Called by the batch executors with the dispatched
+    /// tier's width; idempotent and monotone — an arena reserved for a wide
+    /// layer serves narrower ones for free.
+    pub fn reserve_for(&mut self, layer: &CompiledLayer, lane_width: usize) {
+        let geom = layer.geom();
+        let in_len = geom.c() * layer.conv_groups() * geom.in_w() * geom.in_h();
+        let out_len = geom.k() * geom.out_w() * geom.out_h();
+        let max_entries = layer
+            .flat_tiles()
+            .iter()
+            .map(FlattenedTile::entry_count)
+            .max()
+            .unwrap_or(0);
+        grow_capacity(&mut self.interleaved, in_len * lane_width);
+        grow_capacity(&mut self.prefix, (max_entries + 1) * lane_width);
+        grow_capacity(&mut self.out_lanes, out_len * lane_width);
     }
 }
 
@@ -553,27 +849,28 @@ pub fn deinterleave_lanes<T: Copy>(lanes: &[T], outs: &mut [&mut [T]]) {
     }
 }
 
-/// Executes one lane chunk (`inputs.len() ∈ 1..=LANE_WIDTH`) through the
-/// flattened tiles: interleave once, walk every tile `LW`-wide, scatter the
-/// lane-major sums into the per-image outputs.
+/// Executes one lane chunk (`inputs.len()` = an emitted chunk width) through
+/// the flattened tiles: interleave once, walk every tile `LW`-wide, scatter
+/// the lane-major sums into the per-image outputs.
 fn run_chunk(
     layer: &CompiledLayer,
     inputs: &[Tensor3<i16>],
     outs: &mut [Tensor3<i32>],
     scratch: &mut FlattenedScratch,
+    sel: KernelSel,
 ) {
     let geom = layer.geom();
     let lw = inputs.len();
-    debug_assert!((1..=LANE_WIDTH).contains(&lw));
+    debug_assert!(matches!(lw, 1..=8 | 16 | 32), "chunk width {lw}");
     debug_assert_eq!(outs.len(), lw);
     if lw == 1 {
         // A single lane gains nothing from interleaving (the transpose is
-        // pure overhead); the planar walk is the same arithmetic, written
+        // pure overhead); the width-1 kernel is the planar walk, written
         // straight into the already zeroed output.
         let out_slice = outs[0].as_mut_slice();
         let in_slice = inputs[0].as_slice();
         for tile in layer.flat_tiles() {
-            tile.accumulate(in_slice, out_slice, geom, &mut scratch.prefix);
+            accumulate_width::<1>(tile, in_slice, out_slice, geom, &mut scratch.prefix, sel);
         }
         return;
     }
@@ -590,6 +887,7 @@ fn run_chunk(
             geom,
             &mut scratch.prefix,
             lw,
+            sel,
         );
     }
     let mut planes: Vec<&mut [i32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
@@ -600,21 +898,23 @@ fn run_chunk(
 /// the [`BackendKind::FlattenedBatch`](crate::backend::BackendKind) inner
 /// loop.
 ///
-/// The batch is processed in chunks of up to [`LANE_WIDTH`] images. Each
-/// chunk is transposed once into the batch-interleaved layout, every gather
-/// base / halo bounds check / CSR segment range is computed once per entry
-/// per output position, and the prefix-sum and segment-multiply phases run
-/// as contiguous `LW`-wide strips the autovectorizer lifts to SIMD. Per
-/// image the i32 operation sequence is identical to [`run_flattened`], so
-/// outputs are **bit-identical** to it at every batch size and thread count.
+/// The batch is processed in chunks as wide as the dispatched tier's
+/// interleave width (8 scalar, 16 AVX2, 32 AVX-512 — the plan's cached
+/// [`KernelSel`]). Each chunk is transposed once into the batch-interleaved
+/// layout, every gather base / halo bounds check / CSR segment range is
+/// computed once per entry per output position, and the prefix-sum and
+/// segment-multiply phases run as contiguous `LW`-wide strips through the
+/// tier's `#[target_feature]` kernel. Per image the i32 operation sequence
+/// is identical to [`run_flattened`] at every width and tier, so outputs
+/// are **bit-identical** to it at every batch size and thread count.
 ///
-/// `threads > 1` splits the batch into contiguous runs of **whole lane
-/// chunks** executed on scoped threads, each with its own
-/// [`FlattenedScratch`] — never below [`LANE_WIDTH`] images per chunk, so
-/// adding threads cannot narrow the SIMD width (a batch of 8 runs as one
-/// full-width chunk regardless of the thread budget). With one thread (or a
-/// single chunk) the calling thread's arena is reused, so steady-state
-/// serving does not allocate scratch per request.
+/// `threads > 1` splits the batch into contiguous runs of **whole
+/// tier-width chunks** executed on scoped threads, each with its own
+/// [`FlattenedScratch`] — never below the active lane width per worker, so
+/// adding threads cannot narrow the SIMD width (a batch of 32 on the
+/// `avx512` tier runs as one full-width chunk regardless of the thread
+/// budget). With one thread (or a single chunk) the calling thread's arena
+/// is reused, so steady-state serving does not allocate scratch per request.
 ///
 /// # Panics
 ///
@@ -645,21 +945,43 @@ pub fn run_flattened_batch_interleaved(
     inputs: &[Tensor3<i16>],
     threads: usize,
 ) -> Vec<Tensor3<i32>> {
+    run_flattened_batch_interleaved_forced(layer, inputs, threads, layer.kernel_sel())
+}
+
+/// [`run_flattened_batch_interleaved`] with an explicit [`KernelSel`]
+/// instead of the plan's cached one — the entry point for tier-probing
+/// (`auto` calibration runs every available tier as a distinct candidate),
+/// per-tier conformance tests, and A/B benches. The selection is clamped to
+/// the CPU's detected capabilities, so forcing an unavailable tier runs the
+/// best supported one instead of faulting.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any input mismatches the layer geometry.
+#[must_use]
+pub fn run_flattened_batch_interleaved_forced(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    threads: usize,
+    sel: KernelSel,
+) -> Vec<Tensor3<i32>> {
     assert!(threads > 0, "need at least one execution thread");
     if inputs.is_empty() {
         return Vec::new();
     }
-    // Work is dealt in whole lane chunks: splitting finer would narrow the
-    // SIMD width of every worker's kernel, costing more than the extra
-    // thread buys.
-    let chunks = inputs.len().div_ceil(LANE_WIDTH);
+    let sel = sel.clamped();
+    // Work is dealt in whole tier-width chunks: splitting finer would
+    // narrow the SIMD width of every worker's kernel, costing more than
+    // the extra thread buys.
+    let lane = sel.tier.lane_width();
+    let chunks = inputs.len().div_ceil(lane);
     let workers = threads.min(chunks);
     if workers == 1 {
         return with_thread_scratch(|scratch| {
-            run_flattened_batch_interleaved_with(layer, inputs, scratch)
+            run_flattened_batch_interleaved_with_sel(layer, inputs, scratch, sel)
         });
     }
-    let chunk = chunks.div_ceil(workers) * LANE_WIDTH;
+    let chunk = chunks.div_ceil(workers) * lane;
     let mut results: Vec<Vec<Tensor3<i32>>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
@@ -667,7 +989,7 @@ pub fn run_flattened_batch_interleaved(
             .map(|ins| {
                 scope.spawn(move || {
                     let mut scratch = FlattenedScratch::new();
-                    run_flattened_batch_interleaved_with(layer, ins, &mut scratch)
+                    run_flattened_batch_interleaved_with_sel(layer, ins, &mut scratch, sel)
                 })
             })
             .collect();
@@ -680,7 +1002,7 @@ pub fn run_flattened_batch_interleaved(
 
 /// [`run_flattened_batch_interleaved`] on the calling thread with an
 /// explicit [`FlattenedScratch`] arena (no allocation once the arena has
-/// grown to the layer's working-set size).
+/// grown to the layer's working-set size at the dispatched width).
 ///
 /// # Panics
 ///
@@ -691,14 +1013,46 @@ pub fn run_flattened_batch_interleaved_with(
     inputs: &[Tensor3<i16>],
     scratch: &mut FlattenedScratch,
 ) -> Vec<Tensor3<i32>> {
+    run_flattened_batch_interleaved_with_sel(layer, inputs, scratch, layer.kernel_sel())
+}
+
+/// [`run_flattened_batch_interleaved_with`] with an explicit [`KernelSel`]
+/// (clamped to the CPU like
+/// [`run_flattened_batch_interleaved_forced`]).
+///
+/// # Panics
+///
+/// Panics if any input mismatches the layer geometry.
+#[must_use]
+pub fn run_flattened_batch_interleaved_with_sel(
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    scratch: &mut FlattenedScratch,
+    sel: KernelSel,
+) -> Vec<Tensor3<i32>> {
     let geom = layer.geom();
     crate::exec::check_batch_inputs(layer, inputs);
+    let sel = sel.clamped();
+    let lane = sel.tier.lane_width();
+    // Satellite of the tier dispatch: size the arena for the widest chunk
+    // this call will run, so the per-chunk loop never reallocates even the
+    // first time a wide tier executes.
+    scratch.reserve_for(layer, lane.min(inputs.len().max(1)));
     let mut outs: Vec<Tensor3<i32>> = inputs
         .iter()
         .map(|_| Tensor3::zeros(geom.k(), geom.out_w(), geom.out_h()))
         .collect();
-    for (ins, chunk_outs) in inputs.chunks(LANE_WIDTH).zip(outs.chunks_mut(LANE_WIDTH)) {
-        run_chunk(layer, ins, chunk_outs, scratch);
+    let mut start = 0;
+    while start < inputs.len() {
+        let w = next_chunk_width(inputs.len() - start, lane);
+        run_chunk(
+            layer,
+            &inputs[start..start + w],
+            &mut outs[start..start + w],
+            scratch,
+            sel,
+        );
+        start += w;
     }
     outs
 }
@@ -708,6 +1062,7 @@ mod tests {
     use super::*;
     use crate::compile::UcnnConfig;
     use crate::exec::run_compiled;
+    use crate::simd::{available_tiers, SimdCaps};
     use ucnn_model::{reference, ActivationGen, QuantScheme, WeightGen};
     use ucnn_tensor::Tensor4;
 
@@ -890,6 +1245,160 @@ mod tests {
     }
 
     #[test]
+    fn scratch_capacity_follows_dispatch_width_across_mixed_width_layers() {
+        // Satellite regression: one arena alternating between layers run at
+        // every available tier width (8/16/32 on full AVX-512 hardware).
+        // After `reserve_for` at the widest width each layer will see, the
+        // buffers must never reallocate — pointers and capacities stay put
+        // across every mixed-width run — and results stay exact.
+        let widest = SimdCaps::get().best().lane_width();
+        let geoms = [
+            ConvGeom::new(1, 1, 48, 6, 1, 1),
+            ConvGeom::new(5, 4, 3, 4, 3, 3).with_pad(1),
+        ];
+        let layers: Vec<CompiledLayer> = geoms
+            .iter()
+            .enumerate()
+            .map(|(gi, geom)| {
+                let mut wgen = WeightGen::new(QuantScheme::inq(), 90 + gi as u64).with_density(0.8);
+                let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+                CompiledLayer::compile(geom, 1, &weights, &UcnnConfig::with_g(2))
+            })
+            .collect();
+        let mut scratch = FlattenedScratch::new();
+        for layer in &layers {
+            scratch.reserve_for(layer, widest);
+        }
+        let caps = (
+            scratch.interleaved.capacity(),
+            scratch.prefix.capacity(),
+            scratch.out_lanes.capacity(),
+        );
+        let ptrs = (
+            scratch.interleaved.as_ptr(),
+            scratch.prefix.as_ptr(),
+            scratch.out_lanes.as_ptr(),
+        );
+        let mut agen = ActivationGen::new(91);
+        for round in 0..2 {
+            for (layer, geom) in layers.iter().zip(&geoms) {
+                for &tier in available_tiers() {
+                    let lane = tier.lane_width();
+                    // Full-width chunk plus a residual chunk.
+                    let b = lane + 3;
+                    let inputs: Vec<Tensor3<i16>> = (0..b)
+                        .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
+                        .collect();
+                    let expected: Vec<Tensor3<i32>> =
+                        inputs.iter().map(|i| run_flattened(layer, i)).collect();
+                    let sel = layer.kernel_sel().with_tier(tier);
+                    let got =
+                        run_flattened_batch_interleaved_with_sel(layer, &inputs, &mut scratch, sel);
+                    assert_eq!(got, expected, "round {round}, tier {}", tier.name());
+                }
+            }
+        }
+        assert_eq!(
+            caps,
+            (
+                scratch.interleaved.capacity(),
+                scratch.prefix.capacity(),
+                scratch.out_lanes.capacity(),
+            ),
+            "arena buffers grew after reserve_for"
+        );
+        assert_eq!(
+            ptrs,
+            (
+                scratch.interleaved.as_ptr(),
+                scratch.prefix.as_ptr(),
+                scratch.out_lanes.as_ptr(),
+            ),
+            "arena buffers reallocated after reserve_for"
+        );
+    }
+
+    #[test]
+    fn every_available_tier_and_shift_mode_is_bit_identical() {
+        // Cheap in-process tier sweep: full-width + residual batches per
+        // tier, threaded and not, forced shift on and off, against the
+        // planar per-image walk. The conformance corpus repeats this
+        // against golden vectors; this is the fast in-module guard.
+        let geoms = [
+            ConvGeom::new(1, 1, 64, 8, 1, 1),
+            ConvGeom::new(4, 4, 3, 4, 3, 3).with_pad(1),
+        ];
+        let mut agen = ActivationGen::new(55);
+        for (gi, geom) in geoms.iter().enumerate() {
+            let mut wgen = WeightGen::new(QuantScheme::inq(), 50 + gi as u64).with_density(0.8);
+            let weights = wgen.generate_dims(geom.k(), geom.c(), geom.r(), geom.s());
+            let layer = CompiledLayer::compile(geom, 1, &weights, &UcnnConfig::with_g(2));
+            for &tier in available_tiers() {
+                let lane = tier.lane_width();
+                for b in [lane, lane + 3] {
+                    let inputs: Vec<Tensor3<i16>> = (0..b)
+                        .map(|_| agen.generate(geom.c(), geom.in_w(), geom.in_h()))
+                        .collect();
+                    let expected: Vec<Tensor3<i32>> =
+                        inputs.iter().map(|i| run_flattened(&layer, i)).collect();
+                    for shift_add in [false, true] {
+                        let sel = KernelSel { tier, shift_add };
+                        for threads in [1usize, 3] {
+                            assert_eq!(
+                                run_flattened_batch_interleaved_forced(
+                                    &layer, &inputs, threads, sel
+                                ),
+                                expected,
+                                "tier {}, shift {shift_add}, B={b}, {threads} threads",
+                                tier.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_alphabet_classification_follows_the_weights() {
+        // INQ (±2^e) and TTQ (±64) always classify pow2; any non-power
+        // weight disqualifies the tile.
+        let geom = ConvGeom::new(1, 1, 16, 4, 1, 1);
+        for scheme in [QuantScheme::inq(), QuantScheme::ttq()] {
+            let mut wgen = WeightGen::new(scheme, 7).with_density(0.9);
+            let weights = wgen.generate_dims(4, 16, 1, 1);
+            let layer = CompiledLayer::compile(&geom, 1, &weights, &UcnnConfig::with_g(2));
+            assert!(
+                layer.flat_tiles().iter().all(FlattenedTile::pow2_alphabet),
+                "pow2 scheme must classify pow2"
+            );
+        }
+        let weights = Tensor4::from_fn(4, 16, 1, 1, |k, c, _, _| ((k + c) % 5) as i16 - 2);
+        // Contains ±1 and ±2 (pow2) but also… only those, actually — force
+        // a 3 into the alphabet explicitly.
+        let mut w = weights;
+        w[(0, 0, 0, 0)] = 3;
+        let layer = CompiledLayer::compile(&geom, 1, &w, &UcnnConfig::with_g(2));
+        assert!(
+            layer.flat_tiles().iter().any(|t| !t.pow2_alphabet()),
+            "a weight of 3 must disqualify its tile"
+        );
+    }
+
+    #[test]
+    fn shift_codes_cover_the_signed_pow2_range() {
+        assert_eq!(shift_code(1), Some(1));
+        assert_eq!(shift_code(-1), Some(-1));
+        assert_eq!(shift_code(2), Some(2));
+        assert_eq!(shift_code(-128), Some(-8));
+        assert_eq!(shift_code(1 << 14), Some(15));
+        assert_eq!(shift_code(0), None);
+        assert_eq!(shift_code(3), None);
+        assert_eq!(shift_code(-6), None);
+        assert_eq!(shift_code(96), None);
+    }
+
+    #[test]
     fn grouped_conv_exact() {
         let geom = ConvGeom::new(7, 7, 4, 6, 3, 3).with_pad(1);
         check(geom, 2, 2, 4, 5);
@@ -908,6 +1417,7 @@ mod tests {
         let tile = FlattenedTile::lower(&stream, 0, 0, &geom);
         assert_eq!(tile.entry_count(), 0);
         assert_eq!(tile.segment_count(), 0);
+        assert!(tile.pow2_alphabet(), "no segments ⇒ trivially pow2");
     }
 
     #[test]
@@ -921,6 +1431,28 @@ mod tests {
         let geom = ConvGeom::new(5, 5, 8, 2, 3, 3);
         let tile = FlattenedTile::lower(&stream, 0, 0, &geom);
         assert_eq!(tile.segment_count(), stream.multiplies());
+    }
+
+    #[test]
+    fn chunk_decomposition_emits_only_kernel_widths() {
+        for lane in [8usize, 16, 32] {
+            for total in 1usize..=70 {
+                let mut rest = total;
+                let mut seen_widths = Vec::new();
+                while rest > 0 {
+                    let w = next_chunk_width(rest, lane);
+                    assert!(matches!(w, 1..=8 | 16 | 32), "width {w}");
+                    assert!(w <= lane, "width {w} exceeds tier lane {lane}");
+                    seen_widths.push(w);
+                    rest -= w;
+                }
+                assert_eq!(seen_widths.iter().sum::<usize>(), total);
+                // Full tier-width chunks come first; widths never increase.
+                for pair in seen_widths.windows(2) {
+                    assert!(pair[0] >= pair[1], "widths must be non-increasing");
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,8 +54,13 @@
 //!   [`BackendKind::Flattened`] (branch-free gather offsets and CSR-style
 //!   activation-group ranges) and the batch-interleaved SIMD executor
 //!   behind [`BackendKind::FlattenedBatch`] (one indirection walk feeding
-//!   up to [`flatten::LANE_WIDTH`] contiguous image lanes, with per-worker
-//!   [`FlattenedScratch`] arenas).
+//!   a strip of contiguous image lanes as wide as the dispatched ISA tier
+//!   allows, with per-worker [`FlattenedScratch`] arenas).
+//! * [`simd`] — runtime ISA detection ([`SimdCaps`]) and per-plan kernel
+//!   selection ([`KernelSel`]): which `#[target_feature]` tier the strip
+//!   kernels dispatch to (scalar / AVX2 / AVX-512 / NEON, clamped to the
+//!   CPU), at what interleave width, and whether a power-of-two weight
+//!   alphabet lets phase 2 run shift-add instead of broadcast multiplies.
 //! * [`partial_product`] — the paper's third (unexploited) reuse form,
 //!   partial-product memoization across filters (§III-C), provided as an
 //!   extension for ablation.
@@ -73,7 +78,11 @@
 //! assert_eq!(out, 220);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit SIMD tier kernels in `flatten`
+// need `#[target_feature]` functions, which are unsafe to call by language
+// rule. Those call sites carry a scoped `#[allow(unsafe_code)]` with the
+// safety argument; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
@@ -87,6 +96,7 @@ pub mod flatten;
 pub mod hierarchy;
 pub mod partial_product;
 pub mod plan;
+pub mod simd;
 pub mod tune;
 
 pub use backend::{all_backends, backend, Backend, BackendKind};
@@ -96,4 +106,5 @@ pub use factorize::{ActivationGroup, FilterFactorization};
 pub use flatten::{FlattenedScratch, FlattenedTile};
 pub use hierarchy::{GroupStream, StreamEntry};
 pub use plan::{CompiledLayer, CompiledNetwork, CompiledStage, CompiledTile};
-pub use tune::{CalRow, CalibrationTable, TuneOptions};
+pub use simd::{KernelSel, SimdCaps, SimdTier};
+pub use tune::{CalRow, CalibrationTable, Candidate, TuneOptions};

@@ -29,7 +29,8 @@ use crate::backend::{backend, BackendKind};
 use crate::compile::{canonical_of_tensor, UcnnConfig};
 use crate::flatten::FlattenedTile;
 use crate::hierarchy::{GroupStream, ZERO_RANK};
-use crate::tune::{self, CalibrationTable};
+use crate::simd::KernelSel;
+use crate::tune::{self, CalibrationTable, Candidate};
 
 /// One retained work unit of a compiled layer: the stream for a group of
 /// `≤ G` filters over one channel tile, plus where it lands in the layer.
@@ -99,10 +100,17 @@ pub struct CompiledLayer {
     /// Cached calibration shape key ([`crate::tune::shape_key`]), formatted
     /// on first use — the `auto` dispatch path borrows it per batch.
     tune_key: OnceLock<String>,
+    /// Cached SIMD kernel selection ([`KernelSel`]): the dispatched ISA
+    /// tier and whether the plan's weight alphabet admits the shift-add
+    /// phase-2 kernel. Resolved on first flattened execution (it needs the
+    /// flattened lowering for alphabet classification) and cached exactly
+    /// like `flat`.
+    simd: OnceLock<KernelSel>,
 }
 
-/// `flat` and `tune_key` are pure functions of the other fields, so
-/// equality ignores them (and `OnceLock` has no `PartialEq` anyway).
+/// `flat`, `tune_key` and `simd` are derived from the other fields (plus
+/// process environment for `simd`), so equality ignores them (and
+/// `OnceLock` has no `PartialEq` anyway).
 impl PartialEq for CompiledLayer {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
@@ -179,6 +187,7 @@ impl CompiledLayer {
             tiles,
             flat: OnceLock::new(),
             tune_key: OnceLock::new(),
+            simd: OnceLock::new(),
         }
     }
 
@@ -235,6 +244,29 @@ impl CompiledLayer {
     #[must_use]
     pub fn flat_ready(&self) -> bool {
         self.flat.get().is_some()
+    }
+
+    /// The plan's cached SIMD kernel selection: the ISA tier the flattened
+    /// strip kernels dispatch to (widest available, or the `UCNN_SIMD`
+    /// override clamped to the CPU) and whether phase 2 runs shift-add —
+    /// eligible when every tile's segment alphabet is `±2^k`, elected by
+    /// default only when the average equal-code run spans at least
+    /// [`ucnn_simd::SHIFT_MIN_AVG_RUN`](crate::simd::SHIFT_MIN_AVG_RUN)
+    /// segments (shorter runs pay the per-run bookkeeping without
+    /// amortizing the hoisted shift, and the broadcast multiply wins).
+    /// Resolved once — the env knobs are read at that moment, like the
+    /// lowering this rides on — then a plain load.
+    #[must_use]
+    pub fn kernel_sel(&self) -> KernelSel {
+        *self.simd.get_or_init(|| {
+            let tiles = self.flat_tiles();
+            let pow2 = tiles.iter().all(FlattenedTile::pow2_alphabet);
+            let (segs, runs) = tiles.iter().fold((0usize, 0usize), |(s, r), t| {
+                (s + t.segment_count(), r + t.run_count())
+            });
+            let profitable = runs > 0 && segs >= crate::simd::SHIFT_MIN_AVG_RUN * runs;
+            KernelSel::resolve(pow2, profitable)
+        })
     }
 
     /// Rebuilds the dense weight tensor the layer was compiled from, out of
@@ -628,14 +660,18 @@ impl CompiledNetwork {
                             .map(|a| ucnn_model::forward::flatten_for_fc(a, layer.geom().c()))
                             .collect();
                     }
-                    let exec = match kind {
-                        BackendKind::Auto => backend(
-                            auto_table
-                                .and_then(|t| t.choice_for(layer, acts.len()))
-                                .unwrap_or_else(|| tune::fallback_choice(acts.len())),
-                        ),
-                        k => backend(k),
+                    // `auto` elects a *candidate*: a backend kind, plus —
+                    // for the flattened-batch kind — optionally a forced
+                    // SIMD tier, so the calibration table can pick the
+                    // fastest ISA path per shape × bucket, not just the
+                    // fastest loop shape.
+                    let cand = match kind {
+                        BackendKind::Auto => auto_table
+                            .and_then(|t| t.candidate_for(layer, acts.len()))
+                            .unwrap_or_else(|| Candidate::plain(tune::fallback_choice(acts.len()))),
+                        k => Candidate::plain(k),
                     };
+                    let exec = backend(cand.kind);
                     // Reuse telemetry: one gated load on the hot path; when
                     // enabled, the analytic per-call work is recorded after
                     // execution (so the flattened lowering, if this call
@@ -646,11 +682,23 @@ impl CompiledNetwork {
                     let counting = crate::counters::enabled();
                     let lowering_was_ready = counting && layer.flat_ready();
                     let started = auto_table.map(|_| Instant::now());
-                    let outs = exec.run_layer(layer, &acts, threads);
+                    let outs = match cand.tier {
+                        // A tier-qualified candidate bypasses the registry
+                        // and forces the flattened-batch executor onto that
+                        // tier (every candidate stays bit-identical, so the
+                        // election only changes performance).
+                        Some(tier) => crate::flatten::run_flattened_batch_interleaved_forced(
+                            layer,
+                            &acts,
+                            threads,
+                            layer.kernel_sel().with_tier(tier),
+                        ),
+                        None => exec.run_layer(layer, &acts, threads),
+                    };
                     if let (Some(t0), Some(table)) = (started, auto_table) {
                         let per_image = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
                             / acts.len() as u64;
-                        table.observe(layer, acts.len(), exec.kind(), per_image);
+                        table.observe_candidate(layer, acts.len(), cand, per_image);
                     }
                     if counting {
                         crate::counters::record(

@@ -38,7 +38,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{OnceLock, RwLock};
 use std::time::Instant;
 
 use ucnn_tensor::Tensor3;
@@ -46,9 +46,80 @@ use ucnn_tensor::Tensor3;
 use crate::backend::{backend, BackendKind};
 use crate::counters::batch_bucket;
 use crate::plan::{CompiledLayer, CompiledNetwork, CompiledStage};
+use crate::simd::{electable_tiers, SimdTier};
 
-/// Number of static (dispatchable) backends a cell holds estimates for.
-const N_STATIC: usize = BackendKind::STATIC.len();
+/// One dispatchable execution strategy the cost model can elect: a backend
+/// kind, optionally pinned to a specific SIMD tier. `tier: None` means
+/// "whatever [`CompiledLayer::kernel_sel`] resolves" — the backend's
+/// default dispatch. `tier: Some(t)` forces the flattened-batch executor
+/// onto tier `t`, so election can pick the fastest ISA per shape × bucket
+/// instead of trusting the static "widest wins" heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Which executor runs.
+    pub kind: BackendKind,
+    /// Forced SIMD tier (flattened-batch only), or `None` for the
+    /// backend's own per-plan dispatch.
+    pub tier: Option<SimdTier>,
+}
+
+impl Candidate {
+    /// A candidate with no tier pin — the backend's default dispatch.
+    #[must_use]
+    pub const fn plain(kind: BackendKind) -> Self {
+        Self { kind, tier: None }
+    }
+
+    /// Display / column name: the backend name, with `@<tier>` appended
+    /// for tier-pinned candidates (e.g. `flattened-batch@avx2`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self.tier {
+            Some(t) => format!("{}@{}", self.kind.name(), t.name()),
+            None => self.kind.name().to_string(),
+        }
+    }
+
+    /// Inverse of [`Candidate::name`]. Unknown names return `None`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.split_once('@') {
+            Some((kind, tier)) => Some(Self {
+                kind: BackendKind::parse(kind)?,
+                tier: Some(SimdTier::parse(tier)?),
+            }),
+            None => BackendKind::parse(name).map(Self::plain),
+        }
+    }
+}
+
+/// The full candidate list the cost model elects over on this machine:
+/// the six static backends in registry order (indices `0..N_STATIC`, so
+/// kind-level APIs and persisted rows stay stable), then one
+/// `flattened-batch@<tier>` candidate per ISA tier in
+/// [`electable_tiers`] — the available tiers capped at a `UCNN_SIMD`
+/// force, so pinning the env to `scalar` keeps the election from routing
+/// around it. Probed once per process.
+#[must_use]
+pub fn candidates() -> &'static [Candidate] {
+    static CANDIDATES: OnceLock<Vec<Candidate>> = OnceLock::new();
+    CANDIDATES.get_or_init(|| {
+        let mut list: Vec<Candidate> = BackendKind::STATIC
+            .iter()
+            .copied()
+            .map(Candidate::plain)
+            .collect();
+        list.extend(electable_tiers().iter().map(|&tier| Candidate {
+            kind: BackendKind::FlattenedBatch,
+            tier: Some(tier),
+        }));
+        list
+    })
+}
+
+fn candidate_index(cand: Candidate) -> Option<usize> {
+    candidates().iter().position(|c| *c == cand)
+}
 
 /// Hysteresis threshold numerator: an incumbent survives until its
 /// estimate exceeds the best challenger's by more than
@@ -110,25 +181,28 @@ fn static_index(kind: BackendKind) -> Option<usize> {
     BackendKind::STATIC.iter().position(|k| *k == kind)
 }
 
-/// One (shape, bucket) cell: per-backend latency estimates (ns per image,
-/// 0 = never measured) plus the elected winner's [`BackendKind::STATIC`]
+/// One (shape, bucket) cell: per-candidate latency estimates (ns per
+/// image, 0 = never measured) plus the elected winner's [`candidates`]
 /// index. All atomic, so observation and dispatch share cells across
 /// serving workers without a lock.
 struct Cell {
-    est_ns: [AtomicU64; N_STATIC],
+    est_ns: Vec<AtomicU64>,
     choice: AtomicUsize,
 }
 
 impl Cell {
     fn new(initial_choice: usize) -> Self {
         Self {
-            est_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            est_ns: (0..candidates().len()).map(|_| AtomicU64::new(0)).collect(),
             choice: AtomicUsize::new(initial_choice),
         }
     }
 
-    fn estimates(&self) -> [u64; N_STATIC] {
-        std::array::from_fn(|i| self.est_ns[i].load(Ordering::Relaxed))
+    fn estimates(&self) -> Vec<u64> {
+        self.est_ns
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Index of the lowest measured estimate; ties break toward the lower
@@ -162,18 +236,23 @@ impl Cell {
 
 /// One exported row of a [`CalibrationTable`] (see
 /// [`CalibrationTable::rows`]): the cell key, the elected winner, and the
-/// per-backend estimates in [`BackendKind::STATIC`] order.
+/// per-candidate estimates in [`candidates`] order (the first
+/// [`BackendKind::STATIC`]`.len()` entries are the static backends in
+/// registry order; any further entries are the machine's
+/// `flattened-batch@<tier>` candidates).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CalRow {
     /// The [`shape_key`] of the calibrated layer shape.
     pub shape: String,
     /// Power-of-two batch bucket.
     pub bucket: usize,
-    /// Currently elected backend for this cell.
+    /// Currently elected backend kind for this cell.
     pub choice: BackendKind,
-    /// Per-backend estimate in ns/image, [`BackendKind::STATIC`] order;
+    /// The elected candidate's forced SIMD tier, when it has one.
+    pub choice_tier: Option<SimdTier>,
+    /// Per-candidate estimate in ns/image, [`candidates`] order;
     /// 0 = never measured.
-    pub est_ns: [u64; 6],
+    pub est_ns: Vec<u64>,
 }
 
 /// The per-(layer shape × batch bucket) cost model the `auto` backend
@@ -249,15 +328,28 @@ impl CalibrationTable {
     }
 
     /// Authoritatively sets one backend's estimate for a (shape, bucket)
-    /// cell — the probe path. Overwrites any prior estimate and re-elects
-    /// without hysteresis (a fresh measurement beats a stale incumbent).
+    /// cell — the kind-level probe path. See
+    /// [`CalibrationTable::seed_candidate`].
     ///
     /// # Panics
     ///
     /// Panics if `kind` is not a static backend ([`BackendKind::Auto`]
     /// cannot estimate itself) or `est_ns == 0` (0 means "unmeasured").
     pub fn seed(&self, shape: &str, bucket: usize, kind: BackendKind, est_ns: u64) {
-        let idx = static_index(kind).expect("cannot seed an estimate for the auto dispatcher");
+        static_index(kind).expect("cannot seed an estimate for the auto dispatcher");
+        self.seed_candidate(shape, bucket, Candidate::plain(kind), est_ns);
+    }
+
+    /// Authoritatively sets one candidate's estimate for a (shape, bucket)
+    /// cell — the probe path. Overwrites any prior estimate and re-elects
+    /// without hysteresis (a fresh measurement beats a stale incumbent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cand` is not in this machine's [`candidates`] list or
+    /// `est_ns == 0` (0 means "unmeasured").
+    pub fn seed_candidate(&self, shape: &str, bucket: usize, cand: Candidate, est_ns: u64) {
+        let idx = candidate_index(cand).expect("not a dispatchable candidate on this machine");
         assert!(est_ns > 0, "a zero estimate means unmeasured");
         let mut cells = self.cells.write().expect("calibration poisoned");
         let cell = cells
@@ -269,12 +361,19 @@ impl CalibrationTable {
         cell.elect(true);
     }
 
-    /// The backend the table elects for `layer` at `batch`, or `None` when
-    /// no cell covers the shape at all. An unprobed bucket clamps to the
-    /// nearest probed one: the largest probed bucket ≤ the request's
-    /// bucket, else the smallest probed bucket above it.
+    /// The backend kind the table elects for `layer` at `batch` (tier pin
+    /// dropped) — see [`CalibrationTable::candidate_for`].
     #[must_use]
     pub fn choice_for(&self, layer: &CompiledLayer, batch: usize) -> Option<BackendKind> {
+        self.candidate_for(layer, batch).map(|c| c.kind)
+    }
+
+    /// The candidate the table elects for `layer` at `batch`, or `None`
+    /// when no cell covers the shape at all. An unprobed bucket clamps to
+    /// the nearest probed one: the largest probed bucket ≤ the request's
+    /// bucket, else the smallest probed bucket above it.
+    #[must_use]
+    pub fn candidate_for(&self, layer: &CompiledLayer, batch: usize) -> Option<Candidate> {
         let bucket = batch_bucket(batch.max(1));
         let cells = self.cells.read().expect("calibration poisoned");
         // This sits on the `auto` dispatch path, once per layer per batch:
@@ -287,14 +386,12 @@ impl CalibrationTable {
             .next_back()
             .map(|(_, c)| c)
             .or_else(|| buckets.values().next())?;
-        Some(BackendKind::STATIC[cell.choice.load(Ordering::Relaxed)])
+        Some(candidates()[cell.choice.load(Ordering::Relaxed)])
     }
 
-    /// Folds one measured execution into the table — the online re-tune
-    /// path, fed by the `auto` dispatch inside
-    /// [`CompiledNetwork::forward_batch_with`](crate::plan::CompiledNetwork::forward_batch_with)
-    /// (the serving engine's execute phase). EWMA with α = 1/8, then a
-    /// hysteresis-gated re-election. Non-static kinds are ignored.
+    /// Folds one measured execution into the table via the kind-level
+    /// path. Non-static kinds are ignored. See
+    /// [`CalibrationTable::observe_candidate`].
     pub fn observe(
         &self,
         layer: &CompiledLayer,
@@ -302,7 +399,25 @@ impl CalibrationTable {
         kind: BackendKind,
         ns_per_image: u64,
     ) {
-        let Some(idx) = static_index(kind) else {
+        if static_index(kind).is_none() {
+            return;
+        }
+        self.observe_candidate(layer, batch, Candidate::plain(kind), ns_per_image);
+    }
+
+    /// Folds one measured execution into the table — the online re-tune
+    /// path, fed by the `auto` dispatch inside
+    /// [`CompiledNetwork::forward_batch_with`](crate::plan::CompiledNetwork::forward_batch_with)
+    /// (the serving engine's execute phase). EWMA with α = 1/8, then a
+    /// hysteresis-gated re-election. Unknown candidates are ignored.
+    pub fn observe_candidate(
+        &self,
+        layer: &CompiledLayer,
+        batch: usize,
+        cand: Candidate,
+        ns_per_image: u64,
+    ) {
+        let Some(idx) = candidate_index(cand) else {
             return;
         };
         let sample = ns_per_image.max(1);
@@ -324,7 +439,7 @@ impl CalibrationTable {
         }
         drop(cells);
         // First observation of an uncalibrated (shape, bucket): create the
-        // cell with this sample, electing the observed backend.
+        // cell with this sample, electing the observed candidate.
         let mut cells = self.cells.write().expect("calibration poisoned");
         let cell = cells
             .entry(layer.tune_key().to_string())
@@ -344,11 +459,15 @@ impl CalibrationTable {
             .expect("calibration poisoned")
             .iter()
             .flat_map(|(shape, buckets)| {
-                buckets.iter().map(move |(bucket, cell)| CalRow {
-                    shape: shape.clone(),
-                    bucket: *bucket,
-                    choice: BackendKind::STATIC[cell.choice.load(Ordering::Relaxed)],
-                    est_ns: cell.estimates(),
+                buckets.iter().map(move |(bucket, cell)| {
+                    let elected = candidates()[cell.choice.load(Ordering::Relaxed)];
+                    CalRow {
+                        shape: shape.clone(),
+                        bucket: *bucket,
+                        choice: elected.kind,
+                        choice_tier: elected.tier,
+                        est_ns: cell.estimates(),
+                    }
                 })
             })
             .collect()
@@ -356,13 +475,17 @@ impl CalibrationTable {
 
     /// Rebuilds a table from exported rows (the inverse of
     /// [`CalibrationTable::rows`], for loading a checked-in calibration).
+    /// Estimates beyond this machine's [`candidates`] list (rows exported
+    /// on a CPU with more ISA tiers) are dropped, and an elected candidate
+    /// this machine can't dispatch falls back to the cell's argmin.
     #[must_use]
     pub fn from_rows(rows: &[CalRow]) -> Self {
         let table = Self::new();
+        let n = candidates().len();
         for row in rows {
-            for (i, est) in row.est_ns.iter().enumerate() {
+            for (i, est) in row.est_ns.iter().take(n).enumerate() {
                 if *est > 0 {
-                    table.seed(&row.shape, row.bucket, BackendKind::STATIC[i], *est);
+                    table.seed_candidate(&row.shape, row.bucket, candidates()[i], *est);
                 }
             }
             // Rows persist the election (which may differ from argmin by
@@ -372,7 +495,11 @@ impl CalibrationTable {
                 .get(row.shape.as_str())
                 .and_then(|b| b.get(&row.bucket))
             {
-                if let Some(idx) = static_index(row.choice) {
+                let elected = Candidate {
+                    kind: row.choice,
+                    tier: row.choice_tier,
+                };
+                if let Some(idx) = candidate_index(elected) {
                     cell.choice.store(idx, Ordering::Relaxed);
                 }
             }
@@ -409,11 +536,33 @@ impl Default for TuneOptions {
     }
 }
 
+/// Runs one candidate over `inputs`: tier-pinned candidates force the
+/// flattened-batch executor onto their ISA tier (clamped to the CPU);
+/// plain candidates run their backend's default dispatch.
+fn run_candidate(
+    cand: Candidate,
+    layer: &CompiledLayer,
+    inputs: &[Tensor3<i16>],
+    threads: usize,
+) -> Vec<Tensor3<i32>> {
+    match cand.tier {
+        Some(tier) => crate::flatten::run_flattened_batch_interleaved_forced(
+            layer,
+            inputs,
+            threads,
+            layer.kernel_sel().with_tier(tier),
+        ),
+        None => backend(cand.kind).run_layer(layer, inputs, threads),
+    }
+}
+
 /// Micro-probes every distinct conv-layer shape of `net` into `table`:
-/// for each shape × bucket not yet covered, every static backend is warmed
-/// and timed (`opts.reps` runs after one warm-up), and the per-image
-/// nanoseconds are seeded. Shapes already covered are skipped, so probing
-/// a zoo of repeated topologies pays per *distinct shape*, not per model.
+/// for each shape × bucket not yet covered, every [`candidates`] entry —
+/// the six static backends plus one flattened-batch candidate per
+/// available ISA tier — is warmed and timed (`opts.reps` runs after one
+/// warm-up), and the per-image nanoseconds are seeded. Shapes already
+/// covered are skipped, so probing a zoo of repeated topologies pays per
+/// *distinct shape*, not per model.
 ///
 /// # Panics
 ///
@@ -434,17 +583,16 @@ pub fn calibrate_network(table: &CalibrationTable, net: &CompiledNetwork, opts: 
             let inputs: Vec<Tensor3<i16>> = (0..bucket)
                 .map(|i| probe_input(geom.c() * layer.conv_groups(), geom.in_w(), geom.in_h(), i))
                 .collect();
-            for kind in BackendKind::STATIC {
-                let exec = backend(kind);
-                exec.warm(layer);
-                std::hint::black_box(exec.run_layer(layer, &inputs, 2));
+            for &cand in candidates() {
+                backend(cand.kind).warm(layer);
+                std::hint::black_box(run_candidate(cand, layer, &inputs, 2));
                 let start = Instant::now();
                 for _ in 0..opts.reps {
-                    std::hint::black_box(exec.run_layer(layer, &inputs, 2));
+                    std::hint::black_box(run_candidate(cand, layer, &inputs, 2));
                 }
                 let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 let per_image = (total / (opts.reps * bucket) as u64).max(1);
-                table.seed(&key, bucket, kind, per_image);
+                table.seed_candidate(&key, bucket, cand, per_image);
             }
         }
     }
@@ -628,6 +776,82 @@ mod tests {
             shapes.len() * 2,
             "repeated shapes are not re-probed"
         );
+    }
+
+    #[test]
+    fn candidate_list_starts_with_the_static_registry() {
+        let cands = candidates();
+        assert!(cands.len() > BackendKind::STATIC.len());
+        for (i, kind) in BackendKind::STATIC.iter().enumerate() {
+            assert_eq!(cands[i], Candidate::plain(*kind));
+        }
+        // Every available ISA tier is a distinct flattened-batch candidate.
+        for &tier in crate::simd::electable_tiers() {
+            assert!(cands.contains(&Candidate {
+                kind: BackendKind::FlattenedBatch,
+                tier: Some(tier),
+            }));
+        }
+    }
+
+    #[test]
+    fn candidate_names_round_trip() {
+        for &cand in candidates() {
+            assert_eq!(Candidate::parse(&cand.name()), Some(cand));
+        }
+        assert_eq!(Candidate::parse("no-such-backend"), None);
+        assert_eq!(Candidate::parse("flattened-batch@warp9"), None);
+    }
+
+    #[test]
+    fn tier_candidates_compete_in_elections() {
+        let layer = small_layer();
+        let key = shape_key(&layer);
+        let tier = *crate::simd::available_tiers()
+            .first()
+            .expect("scalar is always available");
+        let pinned = Candidate {
+            kind: BackendKind::FlattenedBatch,
+            tier: Some(tier),
+        };
+        let table = CalibrationTable::new();
+        table.seed(&key, 4, BackendKind::FlattenedBatch, 200);
+        table.seed_candidate(&key, 4, pinned, 100);
+        assert_eq!(table.candidate_for(&layer, 4), Some(pinned));
+        // Kind-level view drops the pin but keeps the winner's kind.
+        assert_eq!(
+            table.choice_for(&layer, 4),
+            Some(BackendKind::FlattenedBatch)
+        );
+
+        // Tier-pinned rows survive a round trip, election included.
+        let rows = table.rows();
+        assert_eq!(rows[0].choice_tier, Some(tier));
+        let rebuilt = CalibrationTable::from_rows(&rows);
+        assert_eq!(rebuilt.rows(), rows);
+        assert_eq!(rebuilt.candidate_for(&layer, 4), Some(pinned));
+    }
+
+    #[test]
+    fn tier_probes_are_bit_identical_to_the_backend() {
+        let layer = small_layer();
+        let geom = layer.geom();
+        let inputs: Vec<_> = (0..5)
+            .map(|i| probe_input(geom.c() * layer.conv_groups(), geom.in_w(), geom.in_h(), i))
+            .collect();
+        let reference = backend(BackendKind::FlattenedBatch).run_layer(&layer, &inputs, 2);
+        for &tier in crate::simd::electable_tiers() {
+            let pinned = Candidate {
+                kind: BackendKind::FlattenedBatch,
+                tier: Some(tier),
+            };
+            assert_eq!(
+                run_candidate(pinned, &layer, &inputs, 2),
+                reference,
+                "tier {} diverged",
+                tier.name()
+            );
+        }
     }
 
     #[test]

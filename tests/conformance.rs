@@ -440,10 +440,14 @@ fn parse(name: &str, text: &str) -> GoldenCase {
 // The conformance run.
 // ---------------------------------------------------------------------------
 
-/// Batch sizes × thread counts every backend is driven with. Batch 9
-/// exercises the interleaved backend's full-width chunk *and* a width-1
-/// residual in one run.
-const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 2), (3, 2), (9, 2)];
+/// Batch sizes × thread counts every backend is driven with. The batch
+/// sizes straddle every dispatchable lane width: 9 = one full 8-lane
+/// chunk + a width-1 residual (scalar/NEON tier), 17 = one full 16-lane
+/// chunk + residual (AVX2 tier), 33 = one full 32-lane chunk + residual
+/// (AVX-512 tier) — so whichever ISA tier the host dispatches (or
+/// `UCNN_SIMD` forces), the run covers both its full-width strip and its
+/// remainder path.
+const SHAPES: [(usize, usize); 6] = [(1, 1), (1, 2), (3, 2), (9, 2), (17, 2), (33, 2)];
 
 fn check_case(case: &GoldenCase) {
     match case {
@@ -632,6 +636,82 @@ fn corpus_definitions_round_trip_through_the_text_format() {
             _ => panic!("{name}: kind changed across round trip"),
         }
     }
+}
+
+#[test]
+fn every_isa_tier_matches_the_golden_corpus_bit_identically() {
+    // The suite above runs whatever tier the host dispatches (or `UCNN_SIMD`
+    // forces — the CI `simd` job re-runs the whole file once per tier). This
+    // test removes the env dependency: it drives every golden *layer* vector
+    // through every tier this machine can execute, with the quantized
+    // shift-add path both on and off, in one process. Networks are covered
+    // by the env-forced CI legs — the per-layer entry point is the only one
+    // that takes an explicit kernel selection.
+    use ucnn::core::flatten::run_flattened_batch_interleaved_forced;
+    use ucnn::core::simd::{available_tiers, KernelSel};
+
+    let dir = golden_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/golden must exist (run with UCNN_REGEN_GOLDEN=1 to create it)")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    files.sort();
+
+    let mut layer_cases = 0usize;
+    for file in &files {
+        let name = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 file name")
+            .to_string();
+        let text = std::fs::read_to_string(file).expect("read golden vector");
+        let GoldenCase::Layer {
+            name,
+            geom,
+            conv_groups,
+            g,
+            ct,
+            weights,
+            input,
+            output,
+        } = parse(&name, &text)
+        else {
+            continue;
+        };
+        layer_cases += 1;
+        let cfg = UcnnConfig {
+            g,
+            ct,
+            ..UcnnConfig::default()
+        };
+        let layer = CompiledLayer::compile(&geom, conv_groups, &weights, &cfg);
+        for &tier in available_tiers() {
+            for shift_add in [true, false] {
+                // shift_add=true on a non-power-of-two alphabet is a no-op
+                // request: the kernel only takes the shift path when the
+                // compiled tile actually classified as pow2/ternary.
+                let sel = KernelSel { tier, shift_add };
+                for (b, threads) in SHAPES {
+                    let inputs = vec![input.clone(); b];
+                    let got = run_flattened_batch_interleaved_forced(&layer, &inputs, threads, sel);
+                    assert_eq!(got.len(), b, "{name}: {} wrong batch size", sel.label());
+                    for (i, out) in got.iter().enumerate() {
+                        assert_eq!(
+                            out,
+                            &output,
+                            "{name}: tier '{}' diverged (B={b}, threads={threads}, image {i})",
+                            sel.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        layer_cases >= 7,
+        "expected the full layer corpus, found {layer_cases} vectors"
+    );
 }
 
 #[test]
